@@ -1,0 +1,340 @@
+package topocon_test
+
+// One benchmark per experiment of EXPERIMENTS.md (E1–E10) plus ablation
+// benches for the design choices called out in DESIGN.md. The benchmarks
+// measure the cost of regenerating each figure/claim; correctness is
+// asserted so a regression cannot silently pass as a fast benchmark.
+
+import (
+	"math/rand"
+	"testing"
+
+	"topocon"
+	"topocon/internal/ma"
+	"topocon/internal/topo"
+)
+
+// BenchmarkE1_PTGraphViews builds the Figure-2 process-time graph and
+// extracts a view.
+func BenchmarkE1_PTGraphViews(b *testing.B) {
+	g1 := topocon.MustParseGraph(3, "1->2, 3->2")
+	g2 := topocon.MustParseGraph(3, "2->1, 2->3")
+	run := topocon.NewRun([]int{1, 0, 1}).Extend(g1).Extend(g2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cone := topocon.ConeOf(run, 0, 2)
+		if cone.Size() != 6 {
+			b.Fatalf("cone size %d", cone.Size())
+		}
+	}
+}
+
+// BenchmarkE2_Distances computes the Figure-3 distances.
+func BenchmarkE2_Distances(b *testing.B) {
+	g1 := topocon.MustParseGraph(3, "3->2")
+	g2 := topocon.MustParseGraph(3, "2->1")
+	alpha := topocon.NewRun([]int{0, 0, 0}).Extend(g1).Extend(g2)
+	beta := topocon.NewRun([]int{0, 0, 1}).Extend(g1).Extend(g2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		in := topocon.NewInterner()
+		va := topocon.ComputeViews(in, alpha)
+		vb := topocon.ComputeViews(in, beta)
+		if topocon.MinAgreeLevel(va, vb) != 2 {
+			b.Fatal("wrong d_min")
+		}
+	}
+}
+
+// BenchmarkE3_LossyLink3 regenerates the impossibility verdict with its
+// pump certificate.
+func BenchmarkE3_LossyLink3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := topocon.CheckConsensus(topocon.LossyLink3(), topocon.CheckOptions{MaxHorizon: 4})
+		if err != nil || res.Verdict != topocon.VerdictImpossible {
+			b.Fatalf("verdict %v err %v", res.Verdict, err)
+		}
+	}
+}
+
+// BenchmarkE4_LossyLink2 regenerates the one-round solvability witness.
+func BenchmarkE4_LossyLink2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := topocon.CheckConsensus(topocon.LossyLink2(), topocon.CheckOptions{})
+		if err != nil || res.SeparationHorizon != 1 {
+			b.Fatalf("separation %d err %v", res.SeparationHorizon, err)
+		}
+	}
+}
+
+// BenchmarkE5_ObliviousSweep checks all 15 n=2 oblivious adversaries.
+func BenchmarkE5_ObliviousSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		solvable := 0
+		for mask := uint64(1); mask < 16; mask++ {
+			adv := ma.ObliviousFromMask(2, mask)
+			res, err := topocon.CheckConsensus(adv, topocon.CheckOptions{MaxHorizon: 5})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Verdict == topocon.VerdictSolvable {
+				solvable++
+			}
+		}
+		if solvable != 6 {
+			b.Fatalf("solvable count %d, want 6", solvable)
+		}
+	}
+}
+
+// BenchmarkE6_ComponentGap measures the fixed-algorithm decision-set gap
+// at horizon 5.
+func BenchmarkE6_ComponentGap(b *testing.B) {
+	res, err := topocon.CheckConsensus(topocon.LossyLink2(), topocon.CheckOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		s, err := topocon.BuildSpaceWithInterner(topocon.LossyLink2(), 2, 5, 0, res.Map.Interner())
+		if err != nil {
+			b.Fatal(err)
+		}
+		level, ok, err := topocon.CrossDecisionLevel(res.Map, s)
+		if err != nil || !ok || level != 1 {
+			b.Fatalf("gap level %d ok=%v err=%v", level, ok, err)
+		}
+	}
+}
+
+// BenchmarkE7_FairExclusion runs the committed-suffix family plus the
+// exact lasso convergence to the fair limit.
+func BenchmarkE7_FairExclusion(b *testing.B) {
+	free := []topocon.Graph{topocon.LeftGraph, topocon.RightGraph, topocon.BothGraph}
+	commit := []topocon.Graph{topocon.LeftGraph, topocon.RightGraph}
+	fair, _ := topocon.NewLassoRun([]int{0, 1}, topocon.RepeatWord(topocon.BothGraph))
+	for i := 0; i < b.N; i++ {
+		for _, deadline := range []int{1, 2, 3} {
+			adv := mustCommitted(b, free, commit, deadline)
+			res, err := topocon.CheckConsensus(adv, topocon.CheckOptions{MaxHorizon: 5})
+			if err != nil || res.SeparationHorizon != deadline {
+				b.Fatalf("deadline %d: separation %d err %v", deadline, res.SeparationHorizon, err)
+			}
+		}
+		prefix := []topocon.Graph{topocon.BothGraph, topocon.BothGraph, topocon.BothGraph}
+		w, _ := topocon.NewGraphWord(prefix, []topocon.Graph{topocon.RightGraph})
+		ak, _ := topocon.NewLassoRun([]int{0, 1}, w)
+		if topocon.LassoMinAgreeLevel(ak, fair) != 5 {
+			b.Fatal("wrong convergence level")
+		}
+	}
+}
+
+// BenchmarkE8_VSSC sweeps the eventually-stable window and deadline
+// families.
+func BenchmarkE8_VSSC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, window := range []int{1, 2} {
+			adv := mustStable(b,
+				[]topocon.Graph{topocon.LeftGraph, topocon.BothGraph},
+				[]topocon.Graph{topocon.RightGraph}, window)
+			res, err := topocon.CheckConsensus(adv, topocon.CheckOptions{MaxHorizon: 5})
+			if err != nil || res.Verdict != topocon.VerdictSolvable {
+				b.Fatalf("window %d: %v err %v", window, res.Verdict, err)
+			}
+		}
+	}
+}
+
+// BenchmarkE9_Universal drives the universal algorithm through the
+// message-passing simulator exhaustively.
+func BenchmarkE9_Universal(b *testing.B) {
+	res, err := topocon.CheckConsensus(topocon.LossyLink2(), topocon.CheckOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	factory := topocon.NewFullInfo(res.Rule)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		violations := 0
+		topocon.ExhaustiveSim(topocon.LossyLink2(), factory, 2, 4,
+			func(tr *topocon.Trace, _ ma.Prefix) bool {
+				violations += len(topocon.CheckProperties(tr, true))
+				return true
+			})
+		if violations != 0 {
+			b.Fatalf("%d violations", violations)
+		}
+	}
+}
+
+// BenchmarkE10_LassoExact applies the exact Corollary 5.6 checker.
+func BenchmarkE10_LassoExact(b *testing.B) {
+	words := []topocon.GraphWord{
+		topocon.RepeatWord(topocon.LeftGraph),
+		topocon.RepeatWord(topocon.RightGraph),
+		topocon.RepeatWord(topocon.NeitherGraph),
+	}
+	for i := 0; i < b.N; i++ {
+		a, err := topocon.AnalyzeFinite(words, 2)
+		if err != nil || a.Solvable {
+			b.Fatalf("solvable=%v err=%v", a.Solvable, err)
+		}
+	}
+}
+
+// BenchmarkAblationInternedViews contrasts the hash-consed view comparison
+// (the design choice of internal/ptg) against explicit cone encoding.
+func BenchmarkAblationInternedViews(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	runs := randomRuns(rng, 64, 3, 4)
+	b.Run("interned", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			in := topocon.NewInterner()
+			equal := 0
+			views := make([]*topocon.Views, len(runs))
+			for j, r := range runs {
+				views[j] = topocon.ComputeViews(in, r)
+			}
+			for j := range runs {
+				for k := j + 1; k < len(runs); k++ {
+					if views[j].ID(4, 0) == views[k].ID(4, 0) {
+						equal++
+					}
+				}
+			}
+			sinkInt = equal
+		}
+	})
+	b.Run("explicit-cones", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			equal := 0
+			encs := make([]string, len(runs))
+			for j, r := range runs {
+				encs[j] = topocon.ConeOf(r, 0, 4).Encode()
+			}
+			for j := range runs {
+				for k := j + 1; k < len(runs); k++ {
+					if encs[j] == encs[k] {
+						equal++
+					}
+				}
+			}
+			sinkInt = equal
+		}
+	})
+}
+
+// BenchmarkAblationComponents contrasts union-find component computation
+// against a BFS over the indistinguishability relation.
+func BenchmarkAblationComponents(b *testing.B) {
+	s, err := topocon.BuildSpace(topocon.LossyLink3(), 2, 5, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("union-find", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d := topocon.Decompose(s)
+			sinkInt = len(d.Comps)
+		}
+	})
+	b.Run("bfs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sinkInt = bfsComponents(s)
+		}
+	})
+}
+
+// BenchmarkAblationSpaceBuild measures prefix-space construction cost per
+// horizon (the dominating factor of every checker run).
+func BenchmarkAblationSpaceBuild(b *testing.B) {
+	for _, horizon := range []int{3, 5, 7} {
+		b.Run(map[int]string{3: "horizon3", 5: "horizon5", 7: "horizon7"}[horizon],
+			func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					s, err := topocon.BuildSpace(topocon.LossyLink3(), 2, horizon, 0)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sinkInt = s.Len()
+				}
+			})
+	}
+}
+
+var sinkInt int
+
+func mustCommitted(b *testing.B, free, commit []topocon.Graph, deadline int) topocon.Adversary {
+	b.Helper()
+	adv, err := topocon.NewCommittedSuffix("", free, commit, deadline)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return adv
+}
+
+func mustStable(b *testing.B, chaos, stable []topocon.Graph, window int) topocon.Adversary {
+	b.Helper()
+	adv, err := topocon.NewEventuallyStable("", chaos, stable, window)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return adv
+}
+
+func randomRuns(rng *rand.Rand, count, n, rounds int) []topocon.Run {
+	var all []topocon.Graph
+	topocon.EnumerateGraphs(n, func(g topocon.Graph) bool {
+		all = append(all, g)
+		return true
+	})
+	runs := make([]topocon.Run, count)
+	for i := range runs {
+		inputs := make([]int, n)
+		for p := range inputs {
+			inputs[p] = rng.Intn(2)
+		}
+		r := topocon.NewRun(inputs)
+		for t := 0; t < rounds; t++ {
+			r = r.Extend(all[rng.Intn(len(all))])
+		}
+		runs[i] = r
+	}
+	return runs
+}
+
+// bfsComponents is the ablation baseline: explicit pairwise relation BFS.
+func bfsComponents(s *topo.Space) int {
+	n := s.Len()
+	visited := make([]bool, n)
+	related := func(i, j int) bool {
+		for p := 0; p < s.N(); p++ {
+			if s.Items[i].Views.ID(s.Horizon, p) == s.Items[j].Views.ID(s.Horizon, p) {
+				return true
+			}
+		}
+		return false
+	}
+	comps := 0
+	for i := 0; i < n; i++ {
+		if visited[i] {
+			continue
+		}
+		comps++
+		queue := []int{i}
+		visited[i] = true
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for j := 0; j < n; j++ {
+				if !visited[j] && related(cur, j) {
+					visited[j] = true
+					queue = append(queue, j)
+				}
+			}
+		}
+	}
+	return comps
+}

@@ -1,0 +1,100 @@
+// Command ptgviz renders process-time graphs and local views (Figure 2 of
+// the paper) and reports the process-view distances between two runs
+// (Figure 3).
+//
+// Usage examples:
+//
+//	ptgviz -n 3 -inputs 1,0,1 -rounds "1->2,3->2 ; 2->1,2->3" -view 1
+//	ptgviz -n 3 -inputs 0,0,0 -rounds "3->2 ; 2->1" -other-inputs 0,0,1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"topocon"
+)
+
+func main() {
+	var (
+		n           = flag.Int("n", 3, "number of processes")
+		inputs      = flag.String("inputs", "1,0,1", "comma-separated input values")
+		rounds      = flag.String("rounds", "1->2,3->2 ; 2->1,2->3", "';'-separated round edge lists")
+		view        = flag.Int("view", 1, "process whose view to highlight (1-based, 0 = none)")
+		dot         = flag.Bool("dot", false, "emit Graphviz DOT instead of ASCII")
+		otherInputs = flag.String("other-inputs", "", "if set, also compute distances to the run with these inputs (same rounds)")
+	)
+	flag.Parse()
+
+	run, err := buildRun(*n, *inputs, *rounds)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ptgviz:", err)
+		os.Exit(2)
+	}
+	if *dot {
+		fmt.Print(topocon.RenderPTGraphDOT(run, run.Rounds(), *view-1))
+		return
+	}
+	fmt.Printf("run: %v\n\n", run)
+	fmt.Print(topocon.RenderPTGraph(run, run.Rounds(), *view-1))
+	if *view >= 1 && *view <= *n {
+		cone := topocon.ConeOf(run, *view-1, run.Rounds())
+		fmt.Printf("\nview of process %d at t=%d: %d process-time nodes, heard inputs of:",
+			*view, run.Rounds(), cone.Size())
+		for q := 0; q < *n; q++ {
+			if cone.ContainsInitial(q) {
+				fmt.Printf(" %d", q+1)
+			}
+		}
+		fmt.Println()
+	}
+	if *otherInputs == "" {
+		return
+	}
+	other, err := buildRun(*n, *otherInputs, *rounds)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ptgviz:", err)
+		os.Exit(2)
+	}
+	in := topocon.NewInterner()
+	va := topocon.ComputeViews(in, run)
+	vb := topocon.ComputeViews(in, other)
+	fmt.Printf("\ndistances to x=(%s):\n", *otherInputs)
+	for p := 0; p < *n; p++ {
+		level := topocon.AgreeLevel(va, vb, p)
+		if level > run.Rounds() {
+			fmt.Printf("  d_{%d} < 2^-%d (views agree through the whole prefix)\n", p+1, run.Rounds())
+		} else {
+			fmt.Printf("  d_{%d} = 2^-%d\n", p+1, level)
+		}
+	}
+	fmt.Printf("  d_max = 2^-%d, d_min exponent %d\n",
+		topocon.MaxAgreeLevel(va, vb), topocon.MinAgreeLevel(va, vb))
+}
+
+func buildRun(n int, inputSpec, roundSpec string) (topocon.Run, error) {
+	parts := strings.Split(inputSpec, ",")
+	if len(parts) != n {
+		return topocon.Run{}, fmt.Errorf("got %d inputs for n=%d", len(parts), n)
+	}
+	xs := make([]int, n)
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return topocon.Run{}, fmt.Errorf("input %q: %w", p, err)
+		}
+		xs[i] = v
+	}
+	run := topocon.NewRun(xs)
+	for _, spec := range strings.Split(roundSpec, ";") {
+		g, err := topocon.ParseGraph(n, spec)
+		if err != nil {
+			return topocon.Run{}, err
+		}
+		run = run.Extend(g)
+	}
+	return run, nil
+}

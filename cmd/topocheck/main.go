@@ -1,0 +1,111 @@
+// Command topocheck analyses consensus solvability under a message
+// adversary using the topological characterizations of Nowak, Schmid and
+// Winkler (PODC 2019).
+//
+// Usage examples:
+//
+//	topocheck -preset lossy3
+//	topocheck -preset lossy2 -horizon 6
+//	topocheck -n 2 -graphs "2->1 | 1->2 | 1<->2"
+//	topocheck -preset stable -n 2 -window 2 -horizon 6
+//	topocheck -preset committed -deadline 3
+//	topocheck -n 3 -graphs "1->2,2->3,3->1 | 1<->2,1<->3,2<->3"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"topocon"
+)
+
+func main() {
+	var (
+		preset   = flag.String("preset", "", "adversary preset: lossy2, lossy3, unrestricted, stable, committed")
+		n        = flag.Int("n", 2, "number of processes")
+		graphs   = flag.String("graphs", "", "oblivious graph set, '|'-separated edge lists (1-based ids)")
+		horizon  = flag.Int("horizon", 5, "maximum analysis horizon")
+		domain   = flag.Int("domain", 2, "input domain size")
+		window   = flag.Int("window", 1, "stability window for -preset stable")
+		deadline = flag.Int("deadline", 2, "deadline for -preset committed")
+		verbose  = flag.Bool("v", false, "print per-horizon decomposition statistics")
+	)
+	flag.Parse()
+
+	adv, err := buildAdversary(*preset, *n, *graphs, *window, *deadline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topocheck:", err)
+		os.Exit(2)
+	}
+	if *verbose {
+		printDecompositions(adv, *domain, *horizon)
+	}
+	res, err := topocon.CheckConsensus(adv, topocon.CheckOptions{
+		InputDomain: *domain,
+		MaxHorizon:  *horizon,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topocheck:", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Summary())
+}
+
+func buildAdversary(preset string, n int, graphSpec string, window, deadline int) (topocon.Adversary, error) {
+	switch preset {
+	case "lossy2":
+		return topocon.LossyLink2(), nil
+	case "lossy3":
+		return topocon.LossyLink3(), nil
+	case "unrestricted":
+		return topocon.Unrestricted(n), nil
+	case "stable":
+		if n != 2 {
+			return nil, fmt.Errorf("preset stable is wired for n=2 (chaos {<-,<->}, stable {->}); use the library for other shapes")
+		}
+		return topocon.NewEventuallyStable("",
+			[]topocon.Graph{topocon.LeftGraph, topocon.BothGraph},
+			[]topocon.Graph{topocon.RightGraph}, window)
+	case "committed":
+		if n != 2 {
+			return nil, fmt.Errorf("preset committed is wired for n=2; use the library for other shapes")
+		}
+		return topocon.NewCommittedSuffix("",
+			[]topocon.Graph{topocon.LeftGraph, topocon.RightGraph, topocon.BothGraph},
+			[]topocon.Graph{topocon.LeftGraph, topocon.RightGraph}, deadline)
+	case "":
+		if graphSpec == "" {
+			return nil, fmt.Errorf("provide -preset or -graphs")
+		}
+		parts := strings.Split(graphSpec, "|")
+		set := make([]topocon.Graph, 0, len(parts))
+		for _, p := range parts {
+			g, err := topocon.ParseGraph(n, p)
+			if err != nil {
+				return nil, err
+			}
+			set = append(set, g)
+		}
+		return topocon.NewOblivious("", set)
+	default:
+		return nil, fmt.Errorf("unknown preset %q", preset)
+	}
+}
+
+func printDecompositions(adv topocon.Adversary, domain, horizon int) {
+	fmt.Println("horizon  runs  components  mixed  broadcastable")
+	for t := 1; t <= horizon; t++ {
+		s, err := topocon.BuildSpace(adv, domain, t, 0)
+		if err != nil {
+			fmt.Printf("%7d  (%v)\n", t, err)
+			return
+		}
+		d := topocon.Decompose(s)
+		fmt.Printf("%7d  %4d  %10d  %5d  %v\n",
+			t, s.Len(), len(d.Comps), len(d.MixedComponents()),
+			d.ValentComponentsBroadcastable())
+	}
+	fmt.Println()
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"topocon"
+)
+
+func TestBuildAdversaryPresets(t *testing.T) {
+	tests := []struct {
+		preset  string
+		n       int
+		graphs  string
+		wantErr bool
+	}{
+		{"lossy2", 2, "", false},
+		{"lossy3", 2, "", false},
+		{"unrestricted", 2, "", false},
+		{"stable", 2, "", false},
+		{"committed", 2, "", false},
+		{"stable", 3, "", true},
+		{"committed", 3, "", true},
+		{"bogus", 2, "", true},
+		{"", 2, "", true},
+		{"", 2, "1->2 | 2->1", false},
+		{"", 2, "1->9", true},
+	}
+	for _, tt := range tests {
+		adv, err := buildAdversary(tt.preset, tt.n, tt.graphs, 1, 2)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("preset=%q graphs=%q: want error, got %v", tt.preset, tt.graphs, adv)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("preset=%q graphs=%q: %v", tt.preset, tt.graphs, err)
+			continue
+		}
+		if adv.N() != tt.n {
+			t.Errorf("preset=%q: N=%d, want %d", tt.preset, adv.N(), tt.n)
+		}
+	}
+}
+
+func TestSummaryRendering(t *testing.T) {
+	res, err := topocon.CheckConsensus(topocon.LossyLink3(), topocon.CheckOptions{MaxHorizon: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := res.Summary()
+	for _, want := range []string{"impossible", "certificate", "alternating pump"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("Summary missing %q:\n%s", want, sum)
+		}
+	}
+	res2, err := topocon.CheckConsensus(topocon.LossyLink2(), topocon.CheckOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res2.Summary(), "separation: horizon 1") {
+		t.Errorf("Summary missing separation line:\n%s", res2.Summary())
+	}
+}

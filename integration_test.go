@@ -1,0 +1,142 @@
+package topocon_test
+
+// End-to-end integration sweeps: random n=3 oblivious adversaries flow
+// through the complete pipeline — checker, certificate or witness, compiled
+// universal algorithm, message-passing simulation — with every stage's
+// output validated against the others. This is the repository's
+// self-consistency proof at scale.
+
+import (
+	"math/rand"
+	"testing"
+
+	"topocon"
+	"topocon/internal/ma"
+)
+
+// TestPipelineRandomObliviousN3 sweeps random n=3 oblivious graph subsets.
+func TestPipelineRandomObliviousN3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	rng := rand.New(rand.NewSource(2019))
+	var graphs []topocon.Graph
+	topocon.EnumerateGraphs(3, func(g topocon.Graph) bool {
+		graphs = append(graphs, g)
+		return true
+	})
+	for iter := 0; iter < 25; iter++ {
+		// 1-4 random graphs.
+		count := 1 + rng.Intn(4)
+		set := make([]topocon.Graph, 0, count)
+		seen := map[uint64]bool{}
+		for len(set) < count {
+			i := rng.Intn(len(graphs))
+			if seen[uint64(i)] {
+				continue
+			}
+			seen[uint64(i)] = true
+			set = append(set, graphs[i])
+		}
+		adv, err := topocon.NewOblivious("", set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := topocon.CheckConsensus(adv, topocon.CheckOptions{MaxHorizon: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch res.Verdict {
+		case topocon.VerdictSolvable:
+			validateSolvable(t, adv, res)
+		case topocon.VerdictImpossible:
+			validateImpossible(t, adv, res)
+		case topocon.VerdictUnknown:
+			// Allowed: certificate search is incomplete; mixing must
+			// persist at the final horizon, otherwise it would have been
+			// classified solvable.
+			if res.MixedComponents == 0 {
+				t.Errorf("%s: unknown verdict without mixed components", adv.Name())
+			}
+		}
+	}
+}
+
+func validateSolvable(t *testing.T, adv *ma.Oblivious, res *topocon.CheckResult) {
+	t.Helper()
+	if res.Map == nil || res.Rule == nil {
+		t.Errorf("%s: solvable without compiled algorithm", adv.Name())
+		return
+	}
+	// Theorem 6.6 cross-check: broadcastability must also hold at some
+	// horizon at or after separation.
+	if res.BroadcastHorizon < 0 {
+		t.Errorf("%s: solvable but no broadcastability horizon (Theorem 6.6)", adv.Name())
+	}
+	// Exhaustive simulation at the separation horizon: every run must
+	// satisfy (T),(A),(V) and strong validity, deciding by the witness.
+	factory := topocon.NewFullInfo(res.Rule)
+	runs := 0
+	topocon.ExhaustiveSim(adv, factory, 2, res.SeparationHorizon,
+		func(tr *topocon.Trace, _ ma.Prefix) bool {
+			runs++
+			for _, v := range topocon.CheckProperties(tr, true) {
+				t.Errorf("%s: %v", adv.Name(), v)
+			}
+			if last := tr.LastDecisionRound(); last > res.SeparationHorizon {
+				t.Errorf("%s: decision round %d beyond witness %d",
+					adv.Name(), last, res.SeparationHorizon)
+			}
+			return true
+		})
+	if runs == 0 {
+		t.Errorf("%s: no runs simulated", adv.Name())
+	}
+}
+
+func validateImpossible(t *testing.T, adv *ma.Oblivious, res *topocon.CheckResult) {
+	t.Helper()
+	if res.Certificate == nil {
+		t.Errorf("%s: impossible without certificate", adv.Name())
+	}
+	// An impossibility certificate must be accompanied by persistent
+	// mixing (the space cannot have separated).
+	if res.SeparationHorizon >= 0 {
+		t.Errorf("%s: impossible yet separated at %d", adv.Name(), res.SeparationHorizon)
+	}
+	if res.MixedComponents == 0 {
+		t.Errorf("%s: impossible without mixed components at horizon %d", adv.Name(), res.Horizon)
+	}
+}
+
+// TestPipelineLassoVsChecker cross-validates the exact lasso analysis with
+// the prefix-space checker on finite adversaries expressed both ways.
+func TestPipelineLassoVsChecker(t *testing.T) {
+	cases := [][]topocon.GraphWord{
+		{topocon.RepeatWord(topocon.LeftGraph)},
+		{topocon.RepeatWord(topocon.RightGraph)},
+		{topocon.RepeatWord(topocon.NeitherGraph)},
+		{topocon.RepeatWord(topocon.LeftGraph), topocon.RepeatWord(topocon.RightGraph)},
+		{topocon.RepeatWord(topocon.BothGraph), topocon.RepeatWord(topocon.NeitherGraph)},
+	}
+	for _, words := range cases {
+		exact, err := topocon.AnalyzeFinite(words, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		adv, err := topocon.NewLassoSet("", words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := topocon.CheckConsensus(adv, topocon.CheckOptions{MaxHorizon: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case exact.Solvable && res.Verdict != topocon.VerdictSolvable:
+			t.Errorf("%s: exact says solvable, checker says %v", adv.Name(), res.Verdict)
+		case !exact.Solvable && res.Verdict == topocon.VerdictSolvable:
+			t.Errorf("%s: exact says unsolvable, checker says solvable", adv.Name())
+		}
+	}
+}

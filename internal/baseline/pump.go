@@ -1,0 +1,159 @@
+package baseline
+
+import (
+	"fmt"
+
+	"topocon/internal/graph"
+	"topocon/internal/ma"
+)
+
+// PumpCertificate is the second, self-similar form of bivalence proof: it
+// captures impossibility arguments whose indistinguishability chains grow
+// with the horizon (Santoro-Widmayer's lossy-link proof being the
+// archetype), which no bounded-length chain can witness.
+//
+// The schema consists of two sustained agreement sets and two junction
+// gadgets:
+//
+//   - an A-edge is an adjacent run pair with agreement set A whose both
+//     endpoints play graph a forever: upd(a,a,A) = A keeps it alive;
+//   - a B-edge similarly lives on graph b: upd(b,b,B) = B;
+//   - a junction element, caught between an A-edge (demanding a) and a
+//     B-edge (demanding b), splits into three copies playing a, c1, b. The
+//     pre-existing agreement between copies is the full set, so the two
+//     inserted edges get values upd(a,c1,full) = B and upd(c1,b,full) = A —
+//     the alternation regenerates itself one level deeper. The symmetric
+//     B|A junction uses c2.
+//
+// By induction every horizon admits a chain alternating A- and B-edges
+// between the anchored valent runs: a mixed component at every resolution,
+// hence (compact adversary, König) consensus is impossible.
+type PumpCertificate struct {
+	// A and B are the two sustained agreement sets.
+	A, B uint64
+	// GraphA sustains A-edges; GraphB sustains B-edges; Bridge1 resolves
+	// A|B junctions and Bridge2 resolves B|A junctions.
+	GraphA, GraphB, Bridge1, Bridge2 graph.Graph
+	// AnchorInputs is the chain of input assignments whose consecutive
+	// equal-coordinate sets alternate within {A, B} and whose endpoints
+	// are differently-valent.
+	AnchorInputs [][]int
+	// AnchorWord is the agreement-set word of the anchor chain.
+	AnchorWord []uint64
+}
+
+// String renders the certificate.
+func (c *PumpCertificate) String() string {
+	return fmt.Sprintf("alternating pump: A=%s via %v, B=%s via %v, bridges %v/%v, anchor of %d inputs",
+		graph.FormatNodeSet(c.A), c.GraphA,
+		graph.FormatNodeSet(c.B), c.GraphB,
+		c.Bridge1, c.Bridge2, len(c.AnchorInputs))
+}
+
+// FindPumpCertificate searches the oblivious adversary for an
+// alternating-pump impossibility schema over the given input domain.
+func FindPumpCertificate(adv *ma.Oblivious, inputDomain int) (*PumpCertificate, bool) {
+	n := adv.N()
+	if n > 8 {
+		return nil, false
+	}
+	full := graph.AllNodes(n)
+	graphs := adv.Graphs()
+	for a := uint64(1); a <= full; a++ {
+		for b := uint64(1); b <= full; b++ {
+			if a == b {
+				continue
+			}
+			for _, ga := range graphs {
+				if updateSet(ga, ga, a) != a {
+					continue
+				}
+				for _, gb := range graphs {
+					if updateSet(gb, gb, b) != b {
+						continue
+					}
+					for _, c1 := range graphs {
+						if updateSet(ga, c1, full) != b || updateSet(c1, gb, full) != a {
+							continue
+						}
+						for _, c2 := range graphs {
+							if updateSet(gb, c2, full) != a || updateSet(c2, ga, full) != b {
+								continue
+							}
+							inputs, word, ok := findPumpAnchor(n, inputDomain, a, b)
+							if !ok {
+								continue
+							}
+							return &PumpCertificate{
+								A: a, B: b,
+								GraphA: ga, GraphB: gb,
+								Bridge1: c1, Bridge2: c2,
+								AnchorInputs: inputs,
+								AnchorWord:   word,
+							}, true
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil, false
+}
+
+// findPumpAnchor looks for a chain of input assignments whose consecutive
+// equal-coordinate sets all equal A or B, connecting two differently-valent
+// assignments. Chain length is bounded by the number of distinct vectors
+// (revisiting a vector never helps).
+func findPumpAnchor(n, inputDomain int, a, b uint64) ([][]int, []uint64, bool) {
+	vectors := allVectors(n, inputDomain)
+	var inputs [][]int
+	var word []uint64
+	used := make(map[int]bool, len(vectors))
+	var dfs func(curIdx int) bool
+	dfs = func(curIdx int) bool {
+		cur := vectors[curIdx]
+		if v, valent := valentValue(cur); valent && len(inputs) > 1 {
+			if v0, _ := valentValue(inputs[0]); v0 != v {
+				return true
+			}
+		}
+		for nextIdx, next := range vectors {
+			if used[nextIdx] {
+				continue
+			}
+			eq := equalCoords(cur, next)
+			if eq != a && eq != b {
+				continue
+			}
+			used[nextIdx] = true
+			inputs = append(inputs, next)
+			word = append(word, eq)
+			if dfs(nextIdx) {
+				return true
+			}
+			used[nextIdx] = false
+			inputs = inputs[:len(inputs)-1]
+			word = word[:len(word)-1]
+		}
+		return false
+	}
+	for startIdx, start := range vectors {
+		if _, valent := valentValue(start); !valent {
+			continue
+		}
+		inputs = append(inputs[:0], start)
+		word = word[:0]
+		for k := range used {
+			delete(used, k)
+		}
+		used[startIdx] = true
+		if dfs(startIdx) {
+			out := make([][]int, len(inputs))
+			for i := range inputs {
+				out[i] = append([]int(nil), inputs[i]...)
+			}
+			return out, append([]uint64(nil), word...), true
+		}
+	}
+	return nil, nil, false
+}

@@ -1,0 +1,365 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"topocon/internal/baseline"
+	"topocon/internal/ma"
+	"topocon/internal/topo"
+)
+
+// Verdict classifies the outcome of a solvability analysis.
+type Verdict int
+
+const (
+	// VerdictSolvable: consensus is solvable; the Result carries the
+	// universal algorithm. Exact for compact adversaries (separation
+	// witness, Theorem 6.6); evidence-based for non-compact ones
+	// (Theorem 6.7 checked at finite horizon).
+	VerdictSolvable Verdict = iota + 1
+	// VerdictImpossible: consensus is certifiably impossible (bivalence
+	// certificate, Section 6.1).
+	VerdictImpossible
+	// VerdictUnknown: neither a solvability witness nor an impossibility
+	// certificate was found within the analysis budget.
+	VerdictUnknown
+)
+
+// String renders the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictSolvable:
+		return "solvable"
+	case VerdictImpossible:
+		return "impossible"
+	case VerdictUnknown:
+		return "unknown"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Options configure the checker.
+type Options struct {
+	// InputDomain is the number of input values (default 2).
+	InputDomain int
+	// MaxHorizon bounds the prefix horizons analysed (default 7).
+	MaxHorizon int
+	// MaxRuns bounds the prefix-space size (default topo.DefaultMaxRuns).
+	MaxRuns int
+	// DefaultValue is assigned to valence-free components by the
+	// meta-procedure's step 3 (default 0).
+	DefaultValue int
+	// CertChainLen bounds the bivalence-certificate chain search for
+	// oblivious adversaries; 0 selects an adaptive default (5 for n ≤ 2,
+	// 3 for larger n — the word space grows as (2^n-1)^len); a negative
+	// value disables the search.
+	CertChainLen int
+	// LatencySlack is the number of rounds a non-compact adversary's runs
+	// are allowed between obligation discharge and full decision before
+	// the checker refuses the solvability evidence (default 2).
+	LatencySlack int
+}
+
+func (o Options) withDefaults() Options {
+	if o.InputDomain == 0 {
+		o.InputDomain = 2
+	}
+	if o.MaxHorizon == 0 {
+		o.MaxHorizon = 7
+	}
+	if o.LatencySlack == 0 {
+		o.LatencySlack = 2
+	}
+	return o
+}
+
+// Result is the outcome of a solvability analysis.
+type Result struct {
+	// AdversaryName identifies the analysed adversary.
+	AdversaryName string
+	// Compact records whether the adversary is limit-closed.
+	Compact bool
+	// Verdict is the overall outcome; Exact reports whether it is a
+	// theorem about the adversary (true) or finite-horizon evidence.
+	Verdict Verdict
+	Exact   bool
+
+	// SeparationHorizon is the first horizon with no mixed component
+	// (the ε of Theorem 6.6 is 2^-SeparationHorizon), or -1.
+	SeparationHorizon int
+	// BroadcastHorizon is the first horizon at which every valent
+	// component is broadcastable, or -1. Theorem 6.6 predicts both
+	// horizons exist for solvable compact adversaries.
+	BroadcastHorizon int
+	// Horizon is the last horizon analysed.
+	Horizon int
+	// MixedComponents and Components describe the decomposition at the
+	// last analysed horizon.
+	MixedComponents int
+	Components      int
+
+	// Map is the compiled universal algorithm (nil unless solvable).
+	Map *DecisionMap
+	// Space and Decomposition are the reference space the map was built
+	// from (nil unless solvable), at horizon Map.Reference().
+	Space         *topo.Space
+	Decomposition *topo.Decomposition
+
+	// Certificate is the impossibility proof (nil unless impossible):
+	// either a bounded bivalent chain (baseline.BivalenceCertificate) or a
+	// self-similar alternating pump (baseline.PumpCertificate).
+	Certificate fmt.Stringer
+
+	// Non-compact route (Theorem 6.7): Broadcaster is the designated
+	// process whose input every admissible run broadcasts (-1 if none was
+	// found); Rule is the corresponding universal algorithm.
+	// MaxDecisionLatency is the largest observed number of rounds between
+	// obligation discharge and the last process decision;
+	// PendingUndecided reports that some run discharged its obligations
+	// at least LatencySlack rounds before the horizon yet had undecided
+	// processes.
+	Broadcaster        int
+	Rule               Rule
+	MaxDecisionLatency int
+	PendingUndecided   bool
+}
+
+// Consensus analyses solvability of consensus under the adversary,
+// applying the compact (Theorem 6.6) or non-compact (Theorem 6.7) route.
+func Consensus(adv ma.Adversary, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if adv.Compact() {
+		return consensusCompact(adv, opts)
+	}
+	return consensusNonCompact(adv, opts)
+}
+
+func consensusCompact(adv ma.Adversary, opts Options) (*Result, error) {
+	res := &Result{
+		AdversaryName:      adv.Name(),
+		Compact:            true,
+		SeparationHorizon:  -1,
+		BroadcastHorizon:   -1,
+		Broadcaster:        -1,
+		MaxDecisionLatency: -1,
+	}
+	for t := 1; t <= opts.MaxHorizon; t++ {
+		s, err := topo.Build(adv, opts.InputDomain, t, opts.MaxRuns)
+		if err != nil {
+			return nil, fmt.Errorf("check: horizon %d: %w", t, err)
+		}
+		d := topo.Decompose(s)
+		res.Horizon = t
+		res.MixedComponents = len(d.MixedComponents())
+		res.Components = len(d.Comps)
+		if res.SeparationHorizon < 0 && res.MixedComponents == 0 {
+			res.SeparationHorizon = t
+			res.Space = s
+			res.Decomposition = d
+			res.Map = BuildDecisionMap(d, opts.DefaultValue)
+		}
+		if res.BroadcastHorizon < 0 && d.ValentComponentsBroadcastable() {
+			res.BroadcastHorizon = t
+		}
+		if res.SeparationHorizon >= 0 && res.BroadcastHorizon >= 0 {
+			break
+		}
+	}
+	if res.SeparationHorizon >= 0 {
+		// Separation persists under refinement, so it is an exact
+		// solvability witness for a compact adversary.
+		res.Verdict = VerdictSolvable
+		res.Exact = true
+		res.Rule = &MapRule{Map: res.Map}
+		return res, nil
+	}
+	chainLen := opts.CertChainLen
+	if chainLen == 0 {
+		if adv.N() <= 2 {
+			chainLen = 5
+		} else {
+			chainLen = 3
+		}
+	}
+	if ob, ok := adv.(*ma.Oblivious); ok && chainLen > 0 {
+		// The pump search is polynomial in the graph-set size; try it
+		// first. The bounded-chain greatest fixpoint is exponential in
+		// the chain length and graph count, so it is gated on small sets.
+		if cert, found := baseline.FindPumpCertificate(ob, opts.InputDomain); found {
+			res.Verdict = VerdictImpossible
+			res.Exact = true
+			res.Certificate = cert
+			return res, nil
+		}
+		if len(ob.Graphs()) <= maxGraphsForChainSearch {
+			if cert, found := baseline.ProveBivalent(ob, opts.InputDomain, chainLen); found {
+				res.Verdict = VerdictImpossible
+				res.Exact = true
+				res.Certificate = cert
+				return res, nil
+			}
+		}
+	}
+	res.Verdict = VerdictUnknown
+	return res, nil
+}
+
+// maxGraphsForChainSearch bounds the bounded-chain certificate search; the
+// greatest-fixpoint DFS is exponential in the graph-set size.
+const maxGraphsForChainSearch = 10
+
+// consensusNonCompact applies Theorem 6.7: for a non-compact adversary the
+// finite-horizon components of the full prefix space stay mixed at every
+// resolution (pending prefixes carry the excluded limit sequences, Fig. 5),
+// so the compact ε-approximation route is unavailable. Instead the checker
+// looks for a designated universal broadcaster p*: a process that is heard
+// by everyone in every admissible run shortly after the adversary's
+// liveness obligation discharges. Its existence makes the partition
+// PS(v) = {x_{p*} = v} open — every process decides x_{p*} upon hearing it
+// — which is exactly how the eventually-stabilizing adversaries of [23]
+// solve consensus. Absence of such a broadcaster at the analysis horizon
+// yields VerdictUnknown together with the refuting evidence.
+func consensusNonCompact(adv ma.Adversary, opts Options) (*Result, error) {
+	res := &Result{
+		AdversaryName:      adv.Name(),
+		SeparationHorizon:  -1,
+		BroadcastHorizon:   -1,
+		Broadcaster:        -1,
+		MaxDecisionLatency: -1,
+	}
+	t := opts.MaxHorizon
+	s, err := topo.Build(adv, opts.InputDomain, t, opts.MaxRuns)
+	if err != nil {
+		return nil, fmt.Errorf("check: horizon %d: %w", t, err)
+	}
+	d := topo.Decompose(s)
+	res.Horizon = t
+	res.MixedComponents = len(d.MixedComponents())
+	res.Components = len(d.Comps)
+	res.Space = s
+	res.Decomposition = d
+
+	// A witness item is one whose obligations discharged early enough
+	// that broadcast completion is owed within the horizon. Candidate
+	// broadcasters must be heard-by-all in every witness item by
+	// DoneAt + LatencySlack.
+	n := s.N()
+	witnesses := 0
+	candidates := make([]bool, n)
+	for p := range candidates {
+		candidates[p] = true
+	}
+	for i := range s.Items {
+		item := &s.Items[i]
+		if item.DoneAt < 0 || item.DoneAt > t-opts.LatencySlack {
+			continue
+		}
+		witnesses++
+		deadline := item.DoneAt + opts.LatencySlack
+		if deadline > t {
+			deadline = t
+		}
+		heard := item.Views.HeardByAll(deadline)
+		for p := 0; p < n; p++ {
+			if candidates[p] && heard&(1<<uint(p)) == 0 {
+				candidates[p] = false
+			}
+		}
+	}
+	if witnesses == 0 {
+		res.Verdict = VerdictUnknown
+		return res, nil
+	}
+	best := -1
+	for p := 0; p < n; p++ {
+		if candidates[p] {
+			best = p
+			break
+		}
+	}
+	if best < 0 {
+		res.PendingUndecided = true
+		res.Verdict = VerdictUnknown
+		return res, nil
+	}
+	res.Broadcaster = best
+	rule := &BroadcastRule{Broadcaster: best}
+	res.Rule = rule
+
+	// Measure decision latency of the broadcast rule over Done items.
+	for i := range s.Items {
+		item := &s.Items[i]
+		if item.DoneAt < 0 || item.DoneAt > t-opts.LatencySlack {
+			continue
+		}
+		last := 0
+		for p := 0; p < n; p++ {
+			decided := false
+			for tt := 0; tt <= t; tt++ {
+				if _, ok := rule.Decide(ViewOf(item.Run, item.Views, tt, p)); ok {
+					if tt > last {
+						last = tt
+					}
+					decided = true
+					break
+				}
+			}
+			if !decided {
+				res.PendingUndecided = true
+			}
+		}
+		latency := last - item.DoneAt
+		if latency < 0 {
+			latency = 0 // decided before the obligation discharged
+		}
+		if latency > res.MaxDecisionLatency {
+			res.MaxDecisionLatency = latency
+		}
+	}
+	if res.PendingUndecided {
+		res.Verdict = VerdictUnknown
+		res.Rule = nil
+		return res, nil
+	}
+	res.Verdict = VerdictSolvable
+	res.Exact = false
+	return res, nil
+}
+
+// Summary renders a multi-line human-readable report of the result.
+func (r *Result) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "adversary:  %s\n", r.AdversaryName)
+	fmt.Fprintf(&sb, "compact:    %v\n", r.Compact)
+	kind := "finite-horizon evidence"
+	if r.Exact {
+		kind = "exact"
+	}
+	fmt.Fprintf(&sb, "verdict:    %v (%s)\n", r.Verdict, kind)
+	switch r.Verdict {
+	case VerdictSolvable:
+		if r.Compact {
+			fmt.Fprintf(&sb, "separation: horizon %d (ε = 2^-%d in Theorem 6.6)\n",
+				r.SeparationHorizon, r.SeparationHorizon)
+			fmt.Fprintf(&sb, "broadcast:  horizon %d\n", r.BroadcastHorizon)
+			if r.Map != nil {
+				fmt.Fprintf(&sb, "decisions:  %d decisive views compiled\n", r.Map.Size())
+			}
+		} else {
+			fmt.Fprintf(&sb, "broadcaster: process %d (Theorem 6.7 partition PS(v) = {x_%d = v})\n",
+				r.Broadcaster+1, r.Broadcaster+1)
+			fmt.Fprintf(&sb, "latency:    ≤ %d rounds after stabilization\n", r.MaxDecisionLatency)
+		}
+	case VerdictImpossible:
+		fmt.Fprintf(&sb, "certificate: %v\n", r.Certificate)
+	case VerdictUnknown:
+		fmt.Fprintf(&sb, "analysis:   horizon %d, %d components, %d mixed\n",
+			r.Horizon, r.Components, r.MixedComponents)
+		if r.PendingUndecided {
+			sb.WriteString("evidence:   runs with discharged obligations stay undecided (non-broadcastable)\n")
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,38 @@
+package check
+
+import (
+	"testing"
+
+	"topocon/internal/ma"
+)
+
+// TestLossBoundedThresholds is E11: the Santoro-Widmayer message-loss
+// thresholds [21, 22]. With at most f messages lost per round, consensus
+// is impossible for f ≥ n-1 (the adversary can mute one process forever)
+// and solvable for f < n-1.
+func TestLossBoundedThresholds(t *testing.T) {
+	tests := []struct {
+		n, f, horizon int
+		solvable      bool
+	}{
+		{2, 1, 3, false}, // f = n-1: the classic lossy link
+		{3, 0, 2, true},  // complete graphs only
+		{3, 1, 3, true},  // below threshold
+		{3, 2, 2, false}, // f = n-1: mute a process
+	}
+	for _, tt := range tests {
+		adv := ma.LossBounded(tt.n, tt.f)
+		res := mustConsensus(t, adv, Options{MaxHorizon: tt.horizon})
+		got := res.Verdict == VerdictSolvable
+		if got != tt.solvable {
+			t.Errorf("n=%d f=%d: verdict %v, want solvable=%v", tt.n, tt.f, res.Verdict, tt.solvable)
+			continue
+		}
+		if !res.Exact {
+			t.Errorf("n=%d f=%d: verdict not exact", tt.n, tt.f)
+		}
+		if !tt.solvable && res.Certificate == nil {
+			t.Errorf("n=%d f=%d: impossible without certificate", tt.n, tt.f)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package check
+
+import (
+	"fmt"
+
+	"topocon/internal/ptg"
+)
+
+// View is the causally-local knowledge of one process at one time: exactly
+// the information a full-information protocol possesses. Decision rules
+// consult only this — which is what makes them implementable by real
+// processes (package sim) and evaluable over prefix spaces (this package).
+type View struct {
+	// Time and Proc locate the view.
+	Time, Proc int
+	// ID is the hash-consed view identity, valid in the rule's interner;
+	// NoViewID when the producer does not compute IDs.
+	ID ptg.ViewID
+	// Heard is the bitmask of processes whose initial value is in the
+	// causal past.
+	Heard uint64
+	// inputs holds input values; access is gated by Heard.
+	inputs []int
+}
+
+// NoViewID marks a View whose hash-consed identity was not computed.
+const NoViewID ptg.ViewID = -1
+
+// NewView assembles a View; inputs[q] is consulted only for heard q.
+func NewView(time, proc int, id ptg.ViewID, heard uint64, inputs []int) View {
+	return View{Time: time, Proc: proc, ID: id, Heard: heard, inputs: inputs}
+}
+
+// ViewOf extracts process p's time-t view from globally-computed run views.
+func ViewOf(run ptg.Run, v *ptg.Views, t, p int) View {
+	return NewView(t, p, v.ID(t, p), v.Heard(t, p), run.Inputs)
+}
+
+// Input returns the input value of process q if q has been heard.
+func (v View) Input(q int) (int, bool) {
+	if v.Heard&(1<<uint(q)) == 0 || q >= len(v.inputs) {
+		return 0, false
+	}
+	return v.inputs[q], true
+}
+
+// Rule is a decision rule of a full-information consensus algorithm: an
+// irrevocable decision predicate on causally-local views.
+type Rule interface {
+	// Name identifies the rule.
+	Name() string
+	// Decide returns (value, true) once the viewing process can decide.
+	Decide(v View) (int, bool)
+	// Interner returns the interner in which View.ID must be computed,
+	// or nil if the rule ignores view identities.
+	Interner() *ptg.Interner
+}
+
+// MapRule adapts a DecisionMap (the compact-adversary universal algorithm
+// of Theorem 5.5) to the Rule interface.
+type MapRule struct {
+	Map *DecisionMap
+}
+
+var _ Rule = (*MapRule)(nil)
+
+// Name implements Rule.
+func (r *MapRule) Name() string { return "universal-map" }
+
+// Interner implements Rule.
+func (r *MapRule) Interner() *ptg.Interner { return r.Map.Interner() }
+
+// Decide implements Rule.
+func (r *MapRule) Decide(v View) (int, bool) {
+	if v.Time > r.Map.Reference() || v.ID == NoViewID {
+		return 0, false
+	}
+	return r.Map.Decide(v.ID)
+}
+
+// BroadcastRule is the non-compact universal algorithm of Theorem 6.7 for
+// adversaries whose every admissible run is broadcast by one designated
+// process p* (e.g. the stable root of an eventually-stabilizing adversary):
+// the partition PS(v) = {runs with x_{p*} = v} is open because every
+// process eventually hears p*, and deciding x_{p*} upon first hearing it
+// realizes the partition.
+type BroadcastRule struct {
+	// Broadcaster is the designated process p*.
+	Broadcaster int
+}
+
+var _ Rule = (*BroadcastRule)(nil)
+
+// Name implements Rule.
+func (r *BroadcastRule) Name() string {
+	return fmt.Sprintf("broadcast(p=%d)", r.Broadcaster+1)
+}
+
+// Interner implements Rule: view identities are not consulted.
+func (r *BroadcastRule) Interner() *ptg.Interner { return nil }
+
+// Decide implements Rule: decide x_{p*} once p* has been heard.
+func (r *BroadcastRule) Decide(v View) (int, bool) {
+	return v.Input(r.Broadcaster)
+}

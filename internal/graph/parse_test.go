@@ -1,0 +1,97 @@
+package graph
+
+import "testing"
+
+func TestParseBasic(t *testing.T) {
+	tests := []struct {
+		in      string
+		n       int
+		want    string
+		wantErr bool
+	}{
+		{"1->2", 2, "[1->2]", false},
+		{"1->2, 2->1", 2, "[1->2 2->1]", false},
+		{"1<->2", 2, "[1->2 2->1]", false},
+		{"1--2", 2, "[1->2 2->1]", false},
+		{"", 2, "[]", false},
+		{"[]", 2, "[]", false},
+		{"[1->2 2->3]", 3, "[1->2 2->3]", false},
+		{"1=>2", 2, "", true},
+		{"0->1", 2, "", true},
+		{"1->3", 2, "", true},
+		{"x->2", 2, "", true},
+	}
+	for _, tt := range tests {
+		g, err := Parse(tt.n, tt.in)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("Parse(%d, %q): want error, got %v", tt.n, tt.in, g)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Parse(%d, %q): %v", tt.n, tt.in, err)
+			continue
+		}
+		if got := g.String(); got != tt.want {
+			t.Errorf("Parse(%d, %q) = %s, want %s", tt.n, tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	EnumerateAll(3, func(g Graph) bool {
+		back, err := Parse(3, g.String())
+		if err != nil {
+			t.Fatalf("Parse(String(%v)): %v", g, err)
+		}
+		if !back.Equal(g) {
+			t.Fatalf("round trip mismatch: %v became %v", g, back)
+		}
+		return true
+	})
+}
+
+func TestLossyLinkConstants(t *testing.T) {
+	if !Left.HasEdge(1, 0) || Left.HasEdge(0, 1) {
+		t.Errorf("Left = %v, want only 2->1", Left)
+	}
+	if !Right.HasEdge(0, 1) || Right.HasEdge(1, 0) {
+		t.Errorf("Right = %v, want only 1->2", Right)
+	}
+	if !Both.HasEdge(0, 1) || !Both.HasEdge(1, 0) {
+		t.Errorf("Both = %v, want both directions", Both)
+	}
+	if Neither.EdgeCount() != 0 {
+		t.Errorf("Neither = %v, want no edges", Neither)
+	}
+}
+
+func TestArrow(t *testing.T) {
+	tests := []struct {
+		g    Graph
+		want string
+	}{
+		{Left, "<-"},
+		{Right, "->"},
+		{Both, "<->"},
+		{Neither, "--"},
+	}
+	for _, tt := range tests {
+		if got := Arrow(tt.g); got != tt.want {
+			t.Errorf("Arrow(%v) = %q, want %q", tt.g, got, tt.want)
+		}
+	}
+	if got := Arrow(New(3)); got != "[]" {
+		t.Errorf("Arrow on n=3 graph = %q, want fallback to String", got)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse on invalid input did not panic")
+		}
+	}()
+	MustParse(2, "bogus")
+}

@@ -1,0 +1,151 @@
+package graph
+
+import "math/bits"
+
+// SCC is a strongly connected component, represented as a node bitmask.
+type SCC struct {
+	// Members is the bitmask of nodes in the component.
+	Members uint64
+	// IsRoot reports whether the component has no incoming edges from
+	// outside itself (a source component of the condensation). Root
+	// components are the candidate "broadcast seeds" of a round graph.
+	IsRoot bool
+}
+
+// SCCs returns the strongly connected components of g in reverse
+// topological order of the condensation (Tarjan's order: a component is
+// emitted only after every component it reaches).
+func (g Graph) SCCs() []SCC {
+	t := &tarjan{
+		g:       g,
+		index:   make([]int, g.n),
+		lowlink: make([]int, g.n),
+		onStack: make([]bool, g.n),
+	}
+	for v := range t.index {
+		t.index[v] = -1
+	}
+	for v := 0; v < g.n; v++ {
+		if t.index[v] < 0 {
+			t.strongConnect(v)
+		}
+	}
+	markRoots(g, t.comps)
+	return t.comps
+}
+
+// RootComponents returns the source components of the condensation of g.
+// Every directed graph has at least one.
+func (g Graph) RootComponents() []SCC {
+	all := g.SCCs()
+	roots := make([]SCC, 0, 1)
+	for _, c := range all {
+		if c.IsRoot {
+			roots = append(roots, c)
+		}
+	}
+	return roots
+}
+
+// SingleRoot returns the unique root component of g and true, or a zero SCC
+// and false if the condensation has multiple sources. A graph in which a
+// single root component exists is exactly a graph whose root members reach
+// every node.
+func (g Graph) SingleRoot() (SCC, bool) {
+	roots := g.RootComponents()
+	if len(roots) != 1 {
+		return SCC{}, false
+	}
+	return roots[0], true
+}
+
+// markRoots fills in the IsRoot flags: a component is a root iff no node
+// outside the component has an edge into it.
+func markRoots(g Graph, comps []SCC) {
+	for i := range comps {
+		members := comps[i].Members
+		isRoot := true
+		for q := 0; q < g.n && isRoot; q++ {
+			if members&(1<<uint(q)) == 0 {
+				continue
+			}
+			if g.in[q]&^members != 0 {
+				isRoot = false
+			}
+		}
+		comps[i].IsRoot = isRoot
+	}
+}
+
+type tarjan struct {
+	g       Graph
+	next    int
+	index   []int
+	lowlink []int
+	onStack []bool
+	stack   []int
+	comps   []SCC
+}
+
+// strongConnect is the iterative form of Tarjan's algorithm (explicit call
+// stack, so deep graphs cannot overflow the goroutine stack).
+func (t *tarjan) strongConnect(v0 int) {
+	type frame struct {
+		v    int
+		succ uint64 // remaining out-neighbours to visit
+	}
+	frames := []frame{{v: v0, succ: t.out(v0)}}
+	t.open(v0)
+	for len(frames) > 0 {
+		f := &frames[len(frames)-1]
+		if f.succ != 0 {
+			w := bits.TrailingZeros64(f.succ)
+			f.succ &^= 1 << uint(w)
+			switch {
+			case t.index[w] < 0:
+				t.open(w)
+				frames = append(frames, frame{v: w, succ: t.out(w)})
+			case t.onStack[w]:
+				if t.index[w] < t.lowlink[f.v] {
+					t.lowlink[f.v] = t.index[w]
+				}
+			}
+			continue
+		}
+		v := f.v
+		frames = frames[:len(frames)-1]
+		if len(frames) > 0 {
+			parent := &frames[len(frames)-1]
+			if t.lowlink[v] < t.lowlink[parent.v] {
+				t.lowlink[parent.v] = t.lowlink[v]
+			}
+		}
+		if t.lowlink[v] == t.index[v] {
+			var members uint64
+			for {
+				w := t.stack[len(t.stack)-1]
+				t.stack = t.stack[:len(t.stack)-1]
+				t.onStack[w] = false
+				members |= 1 << uint(w)
+				if w == v {
+					break
+				}
+			}
+			t.comps = append(t.comps, SCC{Members: members})
+		}
+	}
+}
+
+func (t *tarjan) open(v int) {
+	t.index[v] = t.next
+	t.lowlink[v] = t.next
+	t.next++
+	t.stack = append(t.stack, v)
+	t.onStack[v] = true
+}
+
+// out returns the out-neighbours of v excluding v itself (self-loops are
+// irrelevant to strong connectivity).
+func (t *tarjan) out(v int) uint64 {
+	return t.g.Out(v) &^ (1 << uint(v))
+}

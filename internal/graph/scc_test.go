@@ -1,0 +1,156 @@
+package graph
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestSCCsChain(t *testing.T) {
+	g := Chain(3)
+	comps := g.SCCs()
+	if len(comps) != 3 {
+		t.Fatalf("Chain(3) has %d SCCs, want 3", len(comps))
+	}
+	roots := g.RootComponents()
+	if len(roots) != 1 || roots[0].Members != 1 {
+		t.Errorf("Chain(3) roots = %v, want single {1}", roots)
+	}
+}
+
+func TestSCCsCycle(t *testing.T) {
+	g := Cycle(4)
+	comps := g.SCCs()
+	if len(comps) != 1 || comps[0].Members != AllNodes(4) {
+		t.Fatalf("Cycle(4) SCCs = %v, want one full component", comps)
+	}
+	if !comps[0].IsRoot {
+		t.Error("the unique SCC of a cycle must be a root")
+	}
+}
+
+func TestSCCsTwoIslands(t *testing.T) {
+	// 1↔2 and 3↔4, islands with no cross edges: both are roots.
+	g := MustParse(4, "1<->2, 3<->4")
+	roots := g.RootComponents()
+	if len(roots) != 2 {
+		t.Fatalf("got %d roots, want 2", len(roots))
+	}
+	var union uint64
+	for _, r := range roots {
+		union |= r.Members
+	}
+	if union != AllNodes(4) {
+		t.Errorf("roots cover %s, want all", FormatNodeSet(union))
+	}
+	if _, ok := g.SingleRoot(); ok {
+		t.Error("SingleRoot must fail with two islands")
+	}
+}
+
+func TestSingleRootStar(t *testing.T) {
+	g := Star(5, 2)
+	root, ok := g.SingleRoot()
+	if !ok {
+		t.Fatal("star must have a single root")
+	}
+	if root.Members != 1<<2 {
+		t.Errorf("root = %s, want {3}", FormatNodeSet(root.Members))
+	}
+}
+
+func TestSCCsMixed(t *testing.T) {
+	// 1↔2 feed 3; 3 feeds 4↔5. Root is {1,2}.
+	g := MustParse(5, "1<->2, 2->3, 3->4, 4<->5")
+	comps := g.SCCs()
+	if len(comps) != 3 {
+		t.Fatalf("got %d SCCs, want 3: %v", len(comps), comps)
+	}
+	roots := g.RootComponents()
+	if len(roots) != 1 || roots[0].Members != 0b00011 {
+		t.Errorf("roots = %v, want [{1,2}]", roots)
+	}
+}
+
+// TestSCCPartitionQuick checks the partition property and the reverse
+// topological emission order on all graphs for n=3 and random ones for n=5.
+func TestSCCPartitionQuick(t *testing.T) {
+	check := func(g Graph) bool {
+		comps := g.SCCs()
+		var union uint64
+		for i, c := range comps {
+			if c.Members == 0 {
+				return false
+			}
+			if union&c.Members != 0 {
+				return false // overlap
+			}
+			union |= c.Members
+			// Reverse topological order: no edge from a later component
+			// into an earlier one would violate Tarjan's emission order;
+			// equivalently each emitted component cannot reach any
+			// component emitted after it.
+			reach := g.ReachableFrom(c.Members)
+			for j := i + 1; j < len(comps); j++ {
+				if reach&comps[j].Members != 0 {
+					return false
+				}
+			}
+		}
+		return union == AllNodes(g.N())
+	}
+	EnumerateAll(3, func(g Graph) bool {
+		if !check(g) {
+			t.Fatalf("SCC partition property fails for %v", g)
+		}
+		return true
+	})
+	const n = 5
+	total := CountAll(n)
+	f := func(gi uint64) bool { return check(ByIndex(n, gi%total)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRootReachabilityQuick: members of a single root reach every node, and
+// every graph has at least one root component.
+func TestRootReachabilityQuick(t *testing.T) {
+	const n = 4
+	total := CountAll(n)
+	f := func(gi uint64) bool {
+		g := ByIndex(n, gi%total)
+		roots := g.RootComponents()
+		if len(roots) == 0 {
+			return false
+		}
+		if root, ok := g.SingleRoot(); ok {
+			p := bits.TrailingZeros64(root.Members)
+			if g.ReachableFrom(1<<uint(p)) != AllNodes(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBroadcastersMatchSingleRoot: p is a broadcaster of g iff p lies in a
+// root component that is the unique root. (On every n=3 graph.)
+func TestBroadcastersMatchSingleRoot(t *testing.T) {
+	EnumerateAll(3, func(g Graph) bool {
+		bc := g.Broadcasters()
+		root, ok := g.SingleRoot()
+		var want uint64
+		if ok {
+			want = root.Members
+		}
+		if bc != want {
+			t.Errorf("graph %v: Broadcasters()=%s but single-root=%s",
+				g, FormatNodeSet(bc), FormatNodeSet(want))
+		}
+		return true
+	})
+}

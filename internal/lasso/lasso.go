@@ -1,0 +1,206 @@
+// Package lasso performs *exact* infinite-run analysis for ultimately-
+// periodic runs u·v^ω ("lassos"): per-process view agreement over the whole
+// infinite run (d_{p}(a,b) = 0, no horizon), the exact connected-component
+// structure of finite message adversaries in the minimum topology
+// (Corollary 5.6 verbatim), and the fair/unfair limit pairs of
+// Definition 5.16.
+//
+// The engine is the monotone view-equality fixpoint: let E_p(t) be true iff
+// V_p(a^t) = V_p(b^t). Then
+//
+//	E_p(0) = [x_p(a) = x_p(b)]
+//	E_p(t) = [In_p(G_a^t) = In_p(G_b^t)] ∧ ∀q ∈ In_p(G^t): E_q(t-1),
+//
+// because a view is a node over the views of the round's in-neighbours.
+// Since p ∈ In_p (self-loops), E_p is non-increasing in t; the vector
+// E ∈ {0,1}^n can drop at most n times, and between drops its evolution is
+// driven by the phase pair of the two lassos, which is eventually periodic
+// with period lcm of the cycle lengths. Simulating past the transients and
+// one full stable period therefore decides E_p(∞) exactly.
+package lasso
+
+import (
+	"fmt"
+
+	"topocon/internal/ma"
+)
+
+// Run is an ultimately-periodic infinite run.
+type Run struct {
+	// Inputs is the input assignment.
+	Inputs []int
+	// Word is the graph word u·v^ω.
+	Word ma.GraphWord
+}
+
+// NewRun validates and builds a lasso run.
+func NewRun(inputs []int, word ma.GraphWord) (Run, error) {
+	if len(inputs) != word.N() {
+		return Run{}, fmt.Errorf("lasso: %d inputs for %d-node word", len(inputs), word.N())
+	}
+	return Run{Inputs: append([]int(nil), inputs...), Word: word}, nil
+}
+
+// MustRun is NewRun for statically-known runs.
+func MustRun(inputs []int, word ma.GraphWord) Run {
+	r, err := NewRun(inputs, word)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// N returns the process count.
+func (r Run) N() int { return len(r.Inputs) }
+
+// Valence returns the common input value and true if the run is valent.
+func (r Run) Valence() (int, bool) {
+	v := r.Inputs[0]
+	for _, x := range r.Inputs[1:] {
+		if x != v {
+			return 0, false
+		}
+	}
+	return v, true
+}
+
+// String renders the run.
+func (r Run) String() string {
+	return fmt.Sprintf("x=%v %s", r.Inputs, r.Word)
+}
+
+// AgreementForever returns, for each process p, whether p's views in a and
+// b agree at every time t ≥ 0 — i.e. whether d_{p}(a,b) = 0. The result is
+// exact (no horizon).
+func AgreementForever(a, b Run) []bool {
+	n := a.N()
+	e := make([]bool, n)
+	for p := 0; p < n; p++ {
+		e[p] = a.Inputs[p] == b.Inputs[p]
+	}
+	// Simulate until the E-vector is provably stable: the phase pair of
+	// the two words cycles with period L = lcm(cycle lengths) after both
+	// transients; E can drop at most n times, so simulating
+	// maxPrefix + (n+1)·L rounds passes through a full stable period
+	// after the last possible drop.
+	la := a.Word
+	lb := b.Word
+	maxPrefix := len(la.Prefix)
+	if len(lb.Prefix) > maxPrefix {
+		maxPrefix = len(lb.Prefix)
+	}
+	period := lcm(len(la.Cycle), len(lb.Cycle))
+	bound := maxPrefix + (n+1)*period
+	next := make([]bool, n)
+	for t := 0; t < bound; t++ {
+		ga, gb := la.At(t), lb.At(t)
+		for p := 0; p < n; p++ {
+			if ga.In(p) != gb.In(p) {
+				next[p] = false
+				continue
+			}
+			ok := true
+			in := ga.In(p)
+			for q := 0; q < n; q++ {
+				if in&(1<<uint(q)) != 0 && !e[q] {
+					ok = false
+					break
+				}
+			}
+			next[p] = ok
+		}
+		copy(e, next)
+	}
+	return e
+}
+
+// DistanceZero reports whether d_min(a,b) = 0: some process never
+// distinguishes the two runs.
+func DistanceZero(a, b Run) bool {
+	for _, ok := range AgreementForever(a, b) {
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// AgreeLevels returns, for each process, the first time its views in a and
+// b differ, or -1 if they agree forever (so d_{p} = 2^-level, with -1
+// meaning distance 0). Exact.
+func AgreeLevels(a, b Run) []int {
+	n := a.N()
+	forever := AgreementForever(a, b)
+	levels := make([]int, n)
+	e := make([]bool, n)
+	for p := 0; p < n; p++ {
+		e[p] = a.Inputs[p] == b.Inputs[p]
+		levels[p] = -2 // sentinel: not yet determined
+		if !e[p] {
+			levels[p] = 0
+		} else if forever[p] {
+			levels[p] = -1
+		}
+	}
+	la, lb := a.Word, b.Word
+	maxPrefix := len(la.Prefix)
+	if len(lb.Prefix) > maxPrefix {
+		maxPrefix = len(lb.Prefix)
+	}
+	bound := maxPrefix + (n+1)*lcm(len(la.Cycle), len(lb.Cycle))
+	next := make([]bool, n)
+	for t := 1; t <= bound; t++ {
+		ga, gb := la.At(t-1), lb.At(t-1)
+		for p := 0; p < n; p++ {
+			eq := ga.In(p) == gb.In(p)
+			if eq {
+				in := ga.In(p)
+				for q := 0; q < n; q++ {
+					if in&(1<<uint(q)) != 0 && !e[q] {
+						eq = false
+						break
+					}
+				}
+			}
+			next[p] = eq
+			if !eq && levels[p] == -2 {
+				levels[p] = t
+			}
+		}
+		copy(e, next)
+	}
+	for p := range levels {
+		if levels[p] == -2 {
+			// Unreachable: AgreementForever said the views differ at some
+			// time, which must occur within the simulation bound.
+			panic(fmt.Sprintf("lasso: agreement level of process %d undetermined", p))
+		}
+	}
+	return levels
+}
+
+// MinAgreeLevel returns the exponent of d_min(a,b): the largest per-process
+// first-difference time, or -1 when d_min(a,b) = 0.
+func MinAgreeLevel(a, b Run) int {
+	best := 0
+	for _, l := range AgreeLevels(a, b) {
+		if l < 0 {
+			return -1
+		}
+		if l > best {
+			best = l
+		}
+	}
+	return best
+}
+
+func lcm(a, b int) int {
+	return a / gcd(a, b) * b
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

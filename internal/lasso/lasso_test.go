@@ -1,0 +1,356 @@
+package lasso
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"topocon/internal/graph"
+	"topocon/internal/ma"
+	"topocon/internal/ptg"
+)
+
+func binRun(x1, x2 int, word ma.GraphWord) Run {
+	return MustRun([]int{x1, x2}, word)
+}
+
+func TestAgreementForeverIdenticalRuns(t *testing.T) {
+	w := ma.Repeat(graph.Left, graph.Right)
+	r := binRun(0, 1, w)
+	for p, ok := range AgreementForever(r, r) {
+		if !ok {
+			t.Errorf("process %d disagrees with itself", p+1)
+		}
+	}
+}
+
+func TestAgreementForeverHiddenInput(t *testing.T) {
+	// Under ->^ω process 1 never hears 2: flipping x2 is invisible to 1
+	// forever, visible to 2 at time 0.
+	w := ma.Repeat(graph.Right)
+	a := binRun(0, 0, w)
+	b := binRun(0, 1, w)
+	agree := AgreementForever(a, b)
+	if !agree[0] {
+		t.Error("process 1 must agree forever (never hears 2)")
+	}
+	if agree[1] {
+		t.Error("process 2 must disagree (own input differs)")
+	}
+	if !DistanceZero(a, b) {
+		t.Error("d_min must be 0")
+	}
+	if lvl := MinAgreeLevel(a, b); lvl != -1 {
+		t.Errorf("MinAgreeLevel = %d, want -1 (distance 0)", lvl)
+	}
+}
+
+func TestAgreementForeverFairWordSeesEverything(t *testing.T) {
+	// Under <->^ω both processes hear each other every round: any input
+	// difference becomes visible to everyone — no distance-0 pairs.
+	w := ma.Repeat(graph.Both)
+	a := binRun(0, 0, w)
+	b := binRun(0, 1, w)
+	agree := AgreementForever(a, b)
+	if agree[0] || agree[1] {
+		t.Errorf("fair word must propagate differences: %v", agree)
+	}
+	levels := AgreeLevels(a, b)
+	if levels[1] != 0 {
+		t.Errorf("process 2 first difference at %d, want 0", levels[1])
+	}
+	if levels[0] != 1 {
+		t.Errorf("process 1 first difference at %d, want 1 (hears x2 in round 1)", levels[0])
+	}
+}
+
+func TestAgreementForeverWordDifference(t *testing.T) {
+	// Words <-^ω vs (<- <->)^ω: the difference is the 1->2 edge in even
+	// rounds; process 2's own in-edge differs there (visible at round 2),
+	// process 1 sees it once it hears process 2's changed view.
+	a := binRun(0, 1, ma.Repeat(graph.Left))
+	b := binRun(0, 1, ma.MustGraphWord(nil, []graph.Graph{graph.Left, graph.Both}))
+	levels := AgreeLevels(a, b)
+	if levels[1] != 2 {
+		t.Errorf("process 2 first difference at %d, want 2", levels[1])
+	}
+	// Process 1 hears 2 every round (both words deliver 2->1), so it sees
+	// 2's changed view one round later.
+	if levels[0] != 3 {
+		t.Errorf("process 1 first difference at %d, want 3", levels[0])
+	}
+	if MinAgreeLevel(a, b) != 3 {
+		t.Errorf("MinAgreeLevel = %d, want 3", MinAgreeLevel(a, b))
+	}
+}
+
+// TestAgreeLevelsMatchFiniteViews cross-validates the exact lasso engine
+// against the finite-horizon hash-consed views on random lasso pairs.
+func TestAgreeLevelsMatchFiniteViews(t *testing.T) {
+	all := make([]graph.Graph, 0, 4)
+	graph.EnumerateAll(2, func(g graph.Graph) bool {
+		all = append(all, g)
+		return true
+	})
+	randWord := func(rng *rand.Rand) ma.GraphWord {
+		plen := rng.Intn(3)
+		clen := 1 + rng.Intn(3)
+		prefix := make([]graph.Graph, plen)
+		cycle := make([]graph.Graph, clen)
+		for i := range prefix {
+			prefix[i] = all[rng.Intn(len(all))]
+		}
+		for i := range cycle {
+			cycle[i] = all[rng.Intn(len(all))]
+		}
+		return ma.MustGraphWord(prefix, cycle)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := binRun(rng.Intn(2), rng.Intn(2), randWord(rng))
+		b := binRun(rng.Intn(2), rng.Intn(2), randWord(rng))
+		exact := AgreeLevels(a, b)
+		const horizon = 24
+		in := ptg.NewInterner()
+		ra := ptg.NewRun(a.Inputs)
+		rb := ptg.NewRun(b.Inputs)
+		for t := 0; t < horizon; t++ {
+			ra = ra.Extend(a.Word.At(t))
+			rb = rb.Extend(b.Word.At(t))
+		}
+		va := ptg.ComputeViews(in, ra)
+		vb := ptg.ComputeViews(in, rb)
+		for p := 0; p < 2; p++ {
+			finite := ptg.AgreeLevel(va, vb, p)
+			switch {
+			case exact[p] < 0:
+				// Agreement forever: the finite level must exceed the
+				// horizon.
+				if finite != horizon+1 {
+					return false
+				}
+			case exact[p] != finite:
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceZeroSymmetric(t *testing.T) {
+	a := binRun(0, 0, ma.Repeat(graph.Right))
+	b := binRun(0, 1, ma.Repeat(graph.Right))
+	if DistanceZero(a, b) != DistanceZero(b, a) {
+		t.Error("DistanceZero is not symmetric")
+	}
+}
+
+// TestAnalyzeSilentWord: the one-word adversary {silent^ω} is the textbook
+// impossible case — all runs collapse into one mixed component via hidden
+// input flips.
+func TestAnalyzeSilentWord(t *testing.T) {
+	a, err := Analyze([]ma.GraphWord{ma.Repeat(graph.Neither)}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Solvable {
+		t.Error("silent word must be unsolvable")
+	}
+	if len(a.Components) != 1 {
+		t.Errorf("got %d components, want 1", len(a.Components))
+	}
+	if len(a.BridgePairs) == 0 {
+		t.Error("expected bridge pairs witnessing the hidden flips")
+	}
+}
+
+// TestAnalyzeOneDirectionalWords: {<-^ω} and {->^ω} are solvable: the
+// receiver knows the sender's input, the hidden flips stay on one side.
+func TestAnalyzeOneDirectionalWords(t *testing.T) {
+	for _, w := range []ma.GraphWord{ma.Repeat(graph.Left), ma.Repeat(graph.Right)} {
+		a, err := Analyze([]ma.GraphWord{w}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Solvable {
+			t.Errorf("%v: must be solvable", w)
+		}
+		if len(a.Components) != 2 {
+			t.Errorf("%v: got %d components, want 2", w, len(a.Components))
+		}
+	}
+}
+
+// TestAnalyzeTwoWords: {<-^ω, ->^ω} is solvable (the finite shadow of the
+// reduced lossy link); adding the silent word makes it impossible.
+func TestAnalyzeTwoWords(t *testing.T) {
+	two := []ma.GraphWord{ma.Repeat(graph.Left), ma.Repeat(graph.Right)}
+	a, err := Analyze(two, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Solvable {
+		t.Error("{<-^ω, ->^ω} must be solvable")
+	}
+	if len(a.Components) != 4 {
+		t.Errorf("got %d components, want 4", len(a.Components))
+	}
+
+	three := append(two, ma.Repeat(graph.Neither))
+	a3, err := Analyze(three, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a3.Solvable {
+		t.Error("adding the silent word must break solvability")
+	}
+}
+
+// TestAnalyzeHiddenFlipChainN3: an n=3 finite adversary where process 3 is
+// never heard by anyone — its input flips freely, but since it HEARS the
+// others it cannot be fooled about them; flipping inputs of 1 or 2 is
+// visible to everyone. Only one hidden coordinate: solvable.
+func TestAnalyzeHiddenFlipChainN3(t *testing.T) {
+	// 1<->2 every round, 1->3 and 2->3: process 3 is a pure sink.
+	g := graph.MustParse(3, "1<->2, 1->3, 2->3")
+	a, err := Analyze([]ma.GraphWord{ma.Repeat(g)}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Solvable {
+		t.Error("sink-process adversary must be solvable")
+	}
+	// Flipping x3 links runs pairwise (invisible to 1 and 2): components
+	// of size 2 for each (x1,x2) and each x3 pair: 4 components.
+	if len(a.Components) != 4 {
+		t.Errorf("got %d components, want 4", len(a.Components))
+	}
+}
+
+// TestAnalyzeIsolationImpossibleN3: if the adversary can isolate each
+// process from everyone (the silent graph), consensus is impossible for
+// n=3 too.
+func TestAnalyzeIsolationImpossibleN3(t *testing.T) {
+	a, err := Analyze([]ma.GraphWord{ma.Repeat(graph.New(3))}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Solvable {
+		t.Error("silent n=3 word must be unsolvable")
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := Analyze(nil, 2); err == nil {
+		t.Error("no words: want error")
+	}
+	if _, err := Analyze([]ma.GraphWord{ma.Repeat(graph.Neither)}, 0); err == nil {
+		t.Error("bad domain: want error")
+	}
+	mixed := []ma.GraphWord{ma.Repeat(graph.Neither), ma.Repeat(graph.New(3))}
+	if _, err := Analyze(mixed, 2); err == nil {
+		t.Error("mixed node counts: want error")
+	}
+}
+
+func TestRunHelpers(t *testing.T) {
+	r := binRun(1, 1, ma.Repeat(graph.Both))
+	if v, ok := r.Valence(); !ok || v != 1 {
+		t.Errorf("Valence = (%d,%v), want (1,true)", v, ok)
+	}
+	if _, ok := binRun(0, 1, ma.Repeat(graph.Both)).Valence(); ok {
+		t.Error("mixed inputs reported valent")
+	}
+	if r.String() == "" {
+		t.Error("empty rendering")
+	}
+	if _, err := NewRun([]int{0}, ma.Repeat(graph.Both)); err == nil {
+		t.Error("input/word size mismatch: want error")
+	}
+}
+
+// TestFairLimitConvergence is the quantitative Fig. 5 demonstration (E7):
+// the runs a_k = (0,1, <->^k ->^ω) and b_k = (0,1, <->^k <-^ω) are
+// separated for every k (positive distance), but their mutual distance and
+// their distance to the fair limit r = (0,1, <->^ω) both vanish as k → ∞ —
+// r is exactly the excluded fair sequence of Definition 5.16.
+func TestFairLimitConvergence(t *testing.T) {
+	fair := binRun(0, 1, ma.Repeat(graph.Both))
+	prevAB := -1
+	for k := 1; k <= 5; k++ {
+		prefix := make([]graph.Graph, k)
+		for i := range prefix {
+			prefix[i] = graph.Both
+		}
+		ak := binRun(0, 1, ma.MustGraphWord(prefix, []graph.Graph{graph.Right}))
+		bk := binRun(0, 1, ma.MustGraphWord(prefix, []graph.Graph{graph.Left}))
+		dAB := MinAgreeLevel(ak, bk)
+		dAr := MinAgreeLevel(ak, fair)
+		dBr := MinAgreeLevel(bk, fair)
+		if dAB < 0 || dAr < 0 || dBr < 0 {
+			t.Fatalf("k=%d: distances must be positive (levels %d %d %d)", k, dAB, dAr, dBr)
+		}
+		if dAB <= prevAB {
+			t.Errorf("k=%d: level %d not increasing (prev %d) — distance must shrink", k, dAB, prevAB)
+		}
+		if dAr <= k || dBr <= k {
+			t.Errorf("k=%d: convergence to the fair limit too slow: %d, %d", k, dAr, dBr)
+		}
+		prevAB = dAB
+	}
+}
+
+// TestAgreeLevelsMatchFiniteViewsN3 extends the exactness cross-check to
+// n=3 lassos with longer cycles.
+func TestAgreeLevelsMatchFiniteViewsN3(t *testing.T) {
+	pool := []graph.Graph{
+		graph.Complete(3), graph.Cycle(3), graph.Chain(3),
+		graph.Star(3, 0), graph.Star(3, 2), graph.New(3),
+		graph.MustParse(3, "1<->2"), graph.MustParse(3, "2->3, 3->1"),
+	}
+	rng := rand.New(rand.NewSource(33))
+	randWord := func() ma.GraphWord {
+		plen := rng.Intn(3)
+		clen := 1 + rng.Intn(4)
+		prefix := make([]graph.Graph, plen)
+		cycle := make([]graph.Graph, clen)
+		for i := range prefix {
+			prefix[i] = pool[rng.Intn(len(pool))]
+		}
+		for i := range cycle {
+			cycle[i] = pool[rng.Intn(len(pool))]
+		}
+		return ma.MustGraphWord(prefix, cycle)
+	}
+	for iter := 0; iter < 120; iter++ {
+		xa := []int{rng.Intn(2), rng.Intn(2), rng.Intn(2)}
+		xb := []int{rng.Intn(2), rng.Intn(2), rng.Intn(2)}
+		a := MustRun(xa, randWord())
+		b := MustRun(xb, randWord())
+		exact := AgreeLevels(a, b)
+		const horizon = 40
+		in := ptg.NewInterner()
+		ra, rb := ptg.NewRun(xa), ptg.NewRun(xb)
+		for tt := 0; tt < horizon; tt++ {
+			ra = ra.Extend(a.Word.At(tt))
+			rb = rb.Extend(b.Word.At(tt))
+		}
+		va := ptg.ComputeViews(in, ra)
+		vb := ptg.ComputeViews(in, rb)
+		for p := 0; p < 3; p++ {
+			finite := ptg.AgreeLevel(va, vb, p)
+			if exact[p] < 0 {
+				if finite != horizon+1 {
+					t.Fatalf("iter %d p=%d: exact says forever, finite level %d\n a=%v\n b=%v",
+						iter, p+1, finite, a, b)
+				}
+			} else if exact[p] != finite {
+				t.Fatalf("iter %d p=%d: exact %d vs finite %d\n a=%v\n b=%v",
+					iter, p+1, exact[p], finite, a, b)
+			}
+		}
+	}
+}

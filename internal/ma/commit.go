@@ -1,0 +1,137 @@
+package ma
+
+import (
+	"fmt"
+
+	"topocon/internal/graph"
+)
+
+// CommittedSuffix is the Fevat-Godard-style compact adversary family of
+// Section 6.3: rounds before the deadline are free over the full graph
+// set; from the deadline on, the sequence is constantly one graph from the
+// commitment set. The family excludes, for each deadline R, all sequences
+// that keep alternating after R — in particular every fair sequence. As
+// R → ∞ the family sweeps out the non-compact "eventually committed"
+// adversary whose excluded limits are the fair sequences of
+// Definition 5.16; the growing decision times along the family are the
+// observable signature (Fig. 5).
+type CommittedSuffix struct {
+	n        int
+	name     string
+	free     []graph.Graph
+	commit   []graph.Graph
+	deadline int
+	// all is free ∪ commit, deduplicated (pre-deadline choices).
+	all []graph.Graph
+}
+
+var _ Adversary = (*CommittedSuffix)(nil)
+
+// commitState tracks the round while free, then the committed graph.
+type commitState struct {
+	round     int // rounds played so far; meaningful while committed < 0
+	committed int // index into commit, or -1 while before the deadline
+}
+
+// NewCommittedSuffix builds the adversary. The deadline is the 1-based
+// round from which the sequence must be constant (deadline 1 = constant
+// from the start).
+func NewCommittedSuffix(name string, free, commit []graph.Graph, deadline int) (*CommittedSuffix, error) {
+	if len(commit) == 0 {
+		return nil, fmt.Errorf("ma: committed-suffix adversary needs commitment graphs")
+	}
+	if deadline < 1 {
+		return nil, fmt.Errorf("ma: deadline %d < 1", deadline)
+	}
+	n := commit[0].N()
+	for _, g := range commit {
+		if g.N() != n {
+			return nil, fmt.Errorf("ma: mixed node counts in commitment set")
+		}
+	}
+	for _, g := range free {
+		if g.N() != n {
+			return nil, fmt.Errorf("ma: mixed node counts in free set")
+		}
+	}
+	c := &CommittedSuffix{
+		n:        n,
+		name:     name,
+		free:     append([]graph.Graph(nil), free...),
+		commit:   append([]graph.Graph(nil), commit...),
+		deadline: deadline,
+	}
+	if c.name == "" {
+		c.name = fmt.Sprintf("committed-suffix(deadline=%d)", deadline)
+	}
+	seen := make(map[string]bool, len(free)+len(commit))
+	for _, g := range append(append([]graph.Graph(nil), free...), commit...) {
+		if k := g.Key(); !seen[k] {
+			seen[k] = true
+			c.all = append(c.all, g)
+		}
+	}
+	return c, nil
+}
+
+// MustCommittedSuffix is NewCommittedSuffix for statically-known inputs.
+func MustCommittedSuffix(name string, free, commit []graph.Graph, deadline int) *CommittedSuffix {
+	a, err := NewCommittedSuffix(name, free, commit, deadline)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Deadline returns the commitment deadline.
+func (c *CommittedSuffix) Deadline() int { return c.deadline }
+
+// N implements Adversary.
+func (c *CommittedSuffix) N() int { return c.n }
+
+// Name implements Adversary.
+func (c *CommittedSuffix) Name() string { return c.name }
+
+// Compact implements Adversary: the constraint is a safety property.
+func (c *CommittedSuffix) Compact() bool { return true }
+
+// Start implements Adversary.
+func (c *CommittedSuffix) Start() State {
+	return commitState{committed: -1}
+}
+
+// Choices implements Adversary.
+func (c *CommittedSuffix) Choices(s State) []graph.Graph {
+	st := s.(commitState)
+	if st.committed >= 0 {
+		return c.commit[st.committed : st.committed+1]
+	}
+	if st.round+1 >= c.deadline {
+		// This round is at or past the deadline: it must start (and
+		// continue) a commitment.
+		return c.commit
+	}
+	return c.all
+}
+
+// Step implements Adversary.
+func (c *CommittedSuffix) Step(s State, g graph.Graph) State {
+	st := s.(commitState)
+	if st.committed >= 0 {
+		return st
+	}
+	if st.round+1 >= c.deadline {
+		for i, cg := range c.commit {
+			if cg.Equal(g) {
+				return commitState{committed: i}
+			}
+		}
+		// Unreachable for well-behaved callers: Choices offered only
+		// commitment graphs.
+		panic(fmt.Sprintf("ma: non-commitment graph %v played at the deadline", g))
+	}
+	return commitState{round: st.round + 1, committed: -1}
+}
+
+// Done implements Adversary.
+func (c *CommittedSuffix) Done(State) bool { return true }

@@ -1,0 +1,152 @@
+package ma
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"topocon/internal/graph"
+)
+
+// Exclusion is the non-compact adversary "base minus a finite set of
+// ultimately-periodic sequences": exactly the construction of Fevat-Godard
+// [9] and Section 6.3, where removing a fair sequence (or a pair of unfair
+// sequences) from an otherwise-unsolvable adversary makes consensus
+// solvable.
+//
+// Finite behaviour is unrestricted (every base prefix remains a prefix of
+// some admissible sequence, provided the base adversary offers at least
+// two choices in every state); only the infinite excluded words are
+// dropped. Liveness obligation: eventually deviate from every excluded
+// word.
+type Exclusion struct {
+	base  Adversary
+	words []GraphWord
+	name  string
+}
+
+var _ Adversary = (*Exclusion)(nil)
+
+// exclusionState pairs the base state with the match positions of every
+// excluded word: position p ≥ 0 means "the prefix so far equals the word's
+// first p rounds" (normalized into the word's phase space); -1 means the
+// run has already deviated from that word. The encoding as a string keeps
+// the state comparable.
+type exclusionState struct {
+	base  State
+	match string
+}
+
+// NewExclusion builds base minus words. Each word must use the base node
+// count, and the base must offer at least two choices in every state
+// reachable up to a shallow validation depth — otherwise removing a
+// sequence could strand finite prefixes without admissible extensions.
+func NewExclusion(base Adversary, words []GraphWord) (*Exclusion, error) {
+	if len(words) == 0 {
+		return nil, fmt.Errorf("ma: exclusion needs at least one word")
+	}
+	for _, w := range words {
+		if w.N() != base.N() {
+			return nil, fmt.Errorf("ma: excluded word node count %d != base %d", w.N(), base.N())
+		}
+	}
+	names := make([]string, len(words))
+	for i, w := range words {
+		names[i] = w.String()
+	}
+	return &Exclusion{
+		base:  base,
+		words: append([]GraphWord(nil), words...),
+		name:  base.Name() + " \\ {" + strings.Join(names, ", ") + "}",
+	}, nil
+}
+
+// MustExclusion is NewExclusion for statically-known inputs.
+func MustExclusion(base Adversary, words ...GraphWord) *Exclusion {
+	a, err := NewExclusion(base, words)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Words returns the excluded words.
+func (e *Exclusion) Words() []GraphWord { return e.words }
+
+// Base returns the underlying adversary.
+func (e *Exclusion) Base() Adversary { return e.base }
+
+// N implements Adversary.
+func (e *Exclusion) N() int { return e.base.N() }
+
+// Name implements Adversary.
+func (e *Exclusion) Name() string { return e.name }
+
+// Compact implements Adversary: removing limit sequences breaks closure.
+func (e *Exclusion) Compact() bool { return false }
+
+// Start implements Adversary.
+func (e *Exclusion) Start() State {
+	match := make([]int, len(e.words))
+	return exclusionState{base: e.base.Start(), match: encodeMatch(match)}
+}
+
+// Choices implements Adversary: finite behaviour is the base's.
+func (e *Exclusion) Choices(s State) []graph.Graph {
+	return e.base.Choices(s.(exclusionState).base)
+}
+
+// Step implements Adversary.
+func (e *Exclusion) Step(s State, g graph.Graph) State {
+	st := s.(exclusionState)
+	match := decodeMatch(st.match)
+	for i, pos := range match {
+		if pos < 0 {
+			continue
+		}
+		w := e.words[i]
+		if w.At(pos).Equal(g) {
+			match[i] = w.Phase(pos + 1)
+		} else {
+			match[i] = -1
+		}
+	}
+	return exclusionState{base: e.base.Step(st.base, g), match: encodeMatch(match)}
+}
+
+// Done implements Adversary: obligations are discharged once the run has
+// deviated from every excluded word (and the base's own obligations hold).
+func (e *Exclusion) Done(s State) bool {
+	st := s.(exclusionState)
+	for _, pos := range decodeMatch(st.match) {
+		if pos >= 0 {
+			return false
+		}
+	}
+	return e.base.Done(st.base)
+}
+
+func encodeMatch(match []int) string {
+	var sb strings.Builder
+	sb.Grow(len(match) * 3)
+	for _, p := range match {
+		sb.WriteString(strconv.Itoa(p))
+		sb.WriteByte(',')
+	}
+	return sb.String()
+}
+
+func decodeMatch(s string) []int {
+	parts := strings.Split(strings.TrimSuffix(s, ","), ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			// Unreachable by construction: states are produced only by
+			// encodeMatch.
+			panic(fmt.Sprintf("ma: corrupt exclusion state %q", s))
+		}
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package ma
+
+import (
+	"fmt"
+	"strings"
+
+	"topocon/internal/graph"
+)
+
+// LassoSet is the explicit finite message adversary {w_1, ..., w_k}: its
+// admissible sequences are exactly the given ultimately-periodic words.
+// Finite sets of sequences are closed, hence compact. They are the setting
+// in which Corollary 5.6 is *exactly* decidable (package lasso), and the
+// natural encoding of the paper's n=2 examples.
+type LassoSet struct {
+	n     int
+	name  string
+	words []GraphWord
+}
+
+var _ Adversary = (*LassoSet)(nil)
+
+// lassoSetState holds the normalized match positions of every word (-1 =
+// deviated), encoded as a comparable string; at least one position is
+// always ≥ 0.
+type lassoSetState struct {
+	match string
+}
+
+// NewLassoSet builds the adversary from a non-empty word set.
+func NewLassoSet(name string, words []GraphWord) (*LassoSet, error) {
+	if len(words) == 0 {
+		return nil, fmt.Errorf("ma: lasso set needs at least one word")
+	}
+	n := words[0].N()
+	for _, w := range words {
+		if w.N() != n {
+			return nil, fmt.Errorf("ma: mixed node counts in lasso set")
+		}
+	}
+	if name == "" {
+		names := make([]string, len(words))
+		for i, w := range words {
+			names[i] = w.String()
+		}
+		name = "{" + strings.Join(names, ", ") + "}"
+	}
+	return &LassoSet{n: n, name: name, words: append([]GraphWord(nil), words...)}, nil
+}
+
+// MustLassoSet is NewLassoSet for statically-known inputs.
+func MustLassoSet(name string, words ...GraphWord) *LassoSet {
+	a, err := NewLassoSet(name, words)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Words returns the member words.
+func (l *LassoSet) Words() []GraphWord { return l.words }
+
+// N implements Adversary.
+func (l *LassoSet) N() int { return l.n }
+
+// Name implements Adversary.
+func (l *LassoSet) Name() string { return l.name }
+
+// Compact implements Adversary: finite sequence sets are closed.
+func (l *LassoSet) Compact() bool { return true }
+
+// Start implements Adversary.
+func (l *LassoSet) Start() State {
+	match := make([]int, len(l.words))
+	return lassoSetState{match: encodeMatch(match)}
+}
+
+// Choices implements Adversary: the distinct next graphs of the words that
+// still match the prefix.
+func (l *LassoSet) Choices(s State) []graph.Graph {
+	match := decodeMatch(s.(lassoSetState).match)
+	var out []graph.Graph
+	seen := make(map[string]bool, 2)
+	for i, pos := range match {
+		if pos < 0 {
+			continue
+		}
+		g := l.words[i].At(pos)
+		if k := g.Key(); !seen[k] {
+			seen[k] = true
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// Step implements Adversary.
+func (l *LassoSet) Step(s State, g graph.Graph) State {
+	match := decodeMatch(s.(lassoSetState).match)
+	for i, pos := range match {
+		if pos < 0 {
+			continue
+		}
+		w := l.words[i]
+		if w.At(pos).Equal(g) {
+			match[i] = w.Phase(pos + 1)
+		} else {
+			match[i] = -1
+		}
+	}
+	return lassoSetState{match: encodeMatch(match)}
+}
+
+// Done implements Adversary: staying inside the choice structure forever
+// always yields a member word, so there are no liveness obligations.
+func (l *LassoSet) Done(State) bool { return true }

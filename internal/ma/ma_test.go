@@ -1,0 +1,454 @@
+package ma
+
+import (
+	"strings"
+	"testing"
+
+	"topocon/internal/graph"
+)
+
+func TestObliviousBasics(t *testing.T) {
+	a := LossyLink3()
+	if a.N() != 2 || !a.Compact() {
+		t.Fatalf("LossyLink3: N=%d Compact=%v", a.N(), a.Compact())
+	}
+	if err := Validate(a, 3); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := CountPrefixes(a, 3); got != 27 {
+		t.Errorf("CountPrefixes(3) = %d, want 27", got)
+	}
+	count := 0
+	EnumeratePrefixes(a, 2, func(p Prefix) bool {
+		if len(p.Graphs) != 2 || !p.Done {
+			t.Errorf("bad prefix %v", p)
+		}
+		count++
+		return true
+	})
+	if count != 9 {
+		t.Errorf("enumerated %d prefixes, want 9", count)
+	}
+}
+
+func TestObliviousErrors(t *testing.T) {
+	if _, err := NewOblivious("", nil); err == nil {
+		t.Error("empty graph set: want error")
+	}
+	if _, err := NewOblivious("", []graph.Graph{graph.New(2), graph.New(3)}); err == nil {
+		t.Error("mixed node counts: want error")
+	}
+}
+
+func TestObliviousFromMask(t *testing.T) {
+	// Mask with bits for Left and Right in the EnumerateAll order.
+	li, ri := graph.IndexOf(graph.Left), graph.IndexOf(graph.Right)
+	a := ObliviousFromMask(2, 1<<li|1<<ri)
+	if len(a.Graphs()) != 2 {
+		t.Fatalf("got %d graphs, want 2", len(a.Graphs()))
+	}
+	if got := CountPrefixes(a, 4); got != 16 {
+		t.Errorf("CountPrefixes(4) = %d, want 16", got)
+	}
+}
+
+func TestUnrestricted(t *testing.T) {
+	a := Unrestricted(2)
+	if len(a.Graphs()) != 4 {
+		t.Errorf("Unrestricted(2) has %d graphs, want 4", len(a.Graphs()))
+	}
+	if err := Validate(a, 2); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnumeratePrefixesEarlyStop(t *testing.T) {
+	a := LossyLink3()
+	count := 0
+	EnumeratePrefixes(a, 3, func(Prefix) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("early stop after %d prefixes, want 5", count)
+	}
+}
+
+func TestAdmits(t *testing.T) {
+	a := LossyLink2()
+	if _, ok := Admits(a, []graph.Graph{graph.Left, graph.Right}); !ok {
+		t.Error("LossyLink2 must admit <-,->")
+	}
+	if _, ok := Admits(a, []graph.Graph{graph.Both}); ok {
+		t.Error("LossyLink2 must not admit <->")
+	}
+}
+
+func TestEventuallyStable(t *testing.T) {
+	chaos := []graph.Graph{graph.Left, graph.Right}
+	stable := []graph.Graph{graph.Right}
+	a := MustEventuallyStable("", chaos, stable, 2)
+	if a.Compact() {
+		t.Error("eventually-stable adversary must be non-compact")
+	}
+	if err := Validate(a, 4); err != nil {
+		t.Fatal(err)
+	}
+	// All 2^t words over {<-,->} are admissible prefixes.
+	if got := CountPrefixes(a, 4); got != 16 {
+		t.Errorf("CountPrefixes(4) = %d, want 16", got)
+	}
+	// Done exactly on the prefixes containing two consecutive ->.
+	EnumeratePrefixes(a, 4, func(p Prefix) bool {
+		wantDone := false
+		streak := 0
+		for _, g := range p.Graphs {
+			if g.Equal(graph.Right) {
+				streak++
+			} else {
+				streak = 0
+			}
+			if streak >= 2 {
+				wantDone = true
+			}
+		}
+		if p.Done != wantDone {
+			t.Errorf("prefix %v: Done=%v, want %v", p.Graphs, p.Done, wantDone)
+		}
+		return true
+	})
+}
+
+func TestEventuallyStableErrors(t *testing.T) {
+	if _, err := NewEventuallyStable("", nil, nil, 1); err == nil {
+		t.Error("no stable graphs: want error")
+	}
+	if _, err := NewEventuallyStable("", nil, []graph.Graph{graph.Right}, 0); err == nil {
+		t.Error("window 0: want error")
+	}
+	// A graph with two islands has two root components: rejected.
+	twoIslands := graph.MustParse(4, "1<->2, 3<->4")
+	if _, err := NewEventuallyStable("", nil, []graph.Graph{twoIslands}, 1); err == nil {
+		t.Error("stable graph without single root: want error")
+	}
+}
+
+func TestDeadlineStableForcesWindow(t *testing.T) {
+	inner := MustEventuallyStable("", []graph.Graph{graph.Left}, []graph.Graph{graph.Right}, 2)
+	a := MustDeadlineStable(inner, 3)
+	if !a.Compact() {
+		t.Error("deadline-stable adversary must be compact")
+	}
+	if err := Validate(a, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Every admissible 3-prefix must contain ->,-> as a consecutive pair.
+	EnumeratePrefixes(a, 3, func(p Prefix) bool {
+		streak, best := 0, 0
+		for _, g := range p.Graphs {
+			if g.Equal(graph.Right) {
+				streak++
+			} else {
+				streak = 0
+			}
+			if streak > best {
+				best = streak
+			}
+		}
+		if best < 2 {
+			t.Errorf("deadline violated by admissible prefix %v", p.Graphs)
+		}
+		return true
+	})
+	// After the window, behaviour is free again: some 4-prefix ends with <-.
+	foundFree := false
+	EnumeratePrefixes(a, 4, func(p Prefix) bool {
+		if p.Graphs[3].Equal(graph.Left) {
+			foundFree = true
+			return false
+		}
+		return true
+	})
+	if !foundFree {
+		t.Error("no admissible 4-prefix ends with <- after window completion")
+	}
+}
+
+func TestDeadlineStableErrors(t *testing.T) {
+	inner := MustEventuallyStable("", nil, []graph.Graph{graph.Right}, 3)
+	if _, err := NewDeadlineStable(inner, 2); err == nil {
+		t.Error("deadline shorter than window: want error")
+	}
+}
+
+func TestGraphWord(t *testing.T) {
+	w := MustGraphWord([]graph.Graph{graph.Both}, []graph.Graph{graph.Left, graph.Right})
+	wantSeq := []graph.Graph{graph.Both, graph.Left, graph.Right, graph.Left, graph.Right}
+	for i, want := range wantSeq {
+		if !w.At(i).Equal(want) {
+			t.Errorf("At(%d) = %v, want %v", i, w.At(i), want)
+		}
+	}
+	if w.PhaseCount() != 3 {
+		t.Errorf("PhaseCount = %d, want 3", w.PhaseCount())
+	}
+	if w.Phase(0) != 0 || w.Phase(1) != 1 || w.Phase(3) != 1 || w.Phase(4) != 2 {
+		t.Errorf("Phase normalization wrong: %d %d %d %d",
+			w.Phase(0), w.Phase(1), w.Phase(3), w.Phase(4))
+	}
+	if got := len(w.Take(7)); got != 7 {
+		t.Errorf("Take(7) has %d graphs", got)
+	}
+	if s := w.String(); !strings.Contains(s, ")^w") {
+		t.Errorf("String() = %q", s)
+	}
+	if _, err := NewGraphWord(nil, nil); err == nil {
+		t.Error("empty cycle: want error")
+	}
+}
+
+func TestExclusion(t *testing.T) {
+	base := LossyLink3()
+	fair := Repeat(graph.Both) // <->^ω as a stand-in fair word
+	a := MustExclusion(base, fair)
+	if a.Compact() {
+		t.Error("exclusion adversary must be non-compact")
+	}
+	if err := Validate(a, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Finite behaviour is unchanged.
+	if got, want := CountPrefixes(a, 3), CountPrefixes(base, 3); got != want {
+		t.Errorf("CountPrefixes = %d, want %d", got, want)
+	}
+	// Done exactly when the prefix deviates from <->^ω.
+	EnumeratePrefixes(a, 3, func(p Prefix) bool {
+		deviated := false
+		for _, g := range p.Graphs {
+			if !g.Equal(graph.Both) {
+				deviated = true
+			}
+		}
+		if p.Done != deviated {
+			t.Errorf("prefix %v: Done=%v, want %v", p.Graphs, p.Done, deviated)
+		}
+		return true
+	})
+}
+
+func TestExclusionErrors(t *testing.T) {
+	if _, err := NewExclusion(LossyLink3(), nil); err == nil {
+		t.Error("no words: want error")
+	}
+	w3 := Repeat(graph.New(3))
+	if _, err := NewExclusion(LossyLink3(), []GraphWord{w3}); err == nil {
+		t.Error("node count mismatch: want error")
+	}
+}
+
+func TestLassoSet(t *testing.T) {
+	w1 := Repeat(graph.Left)
+	w2 := Repeat(graph.Right)
+	w3 := MustGraphWord([]graph.Graph{graph.Left}, []graph.Graph{graph.Right})
+	a := MustLassoSet("", w1, w2, w3)
+	if !a.Compact() {
+		t.Error("lasso set must be compact")
+	}
+	if err := Validate(a, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Admissible 3-prefixes: <-<-<-, ->->->, <-->->: exactly 3.
+	var prefixes []string
+	EnumeratePrefixes(a, 3, func(p Prefix) bool {
+		arrows := make([]string, len(p.Graphs))
+		for i, g := range p.Graphs {
+			arrows[i] = graph.Arrow(g)
+		}
+		prefixes = append(prefixes, strings.Join(arrows, ""))
+		return true
+	})
+	if len(prefixes) != 3 {
+		t.Fatalf("admissible prefixes %v, want 3", prefixes)
+	}
+	want := map[string]bool{"<-<-<-": true, "->->->": true, "<-->->": true}
+	for _, p := range prefixes {
+		if !want[p] {
+			t.Errorf("unexpected admissible prefix %q", p)
+		}
+	}
+	if _, ok := Admits(a, []graph.Graph{graph.Right, graph.Left}); ok {
+		t.Error("-><- must not be admissible")
+	}
+}
+
+func TestLassoSetErrors(t *testing.T) {
+	if _, err := NewLassoSet("", nil); err == nil {
+		t.Error("empty lasso set: want error")
+	}
+}
+
+func TestValidateCatchesBrokenAdversary(t *testing.T) {
+	if err := Validate(brokenAdversary{}, 2); err == nil {
+		t.Error("Validate must reject an adversary with empty choices")
+	}
+}
+
+// brokenAdversary deliberately violates the non-empty-choices contract.
+type brokenAdversary struct{}
+
+func (brokenAdversary) N() int                            { return 2 }
+func (brokenAdversary) Name() string                      { return "broken" }
+func (brokenAdversary) Compact() bool                     { return true }
+func (brokenAdversary) Start() State                      { return 0 }
+func (brokenAdversary) Choices(State) []graph.Graph       { return nil }
+func (brokenAdversary) Step(s State, _ graph.Graph) State { return s }
+func (brokenAdversary) Done(State) bool                   { return true }
+
+func TestCommittedSuffix(t *testing.T) {
+	free := []graph.Graph{graph.Left, graph.Right, graph.Both}
+	commit := []graph.Graph{graph.Left, graph.Right}
+	a := MustCommittedSuffix("", free, commit, 2)
+	if !a.Compact() {
+		t.Error("committed-suffix adversary must be compact")
+	}
+	if err := Validate(a, 5); err != nil {
+		t.Fatal(err)
+	}
+	// 3 free choices in round 1, 2 commitments in round 2, constant after:
+	// 6 admissible 4-prefixes.
+	if got := CountPrefixes(a, 4); got != 6 {
+		t.Errorf("CountPrefixes(4) = %d, want 6", got)
+	}
+	// Every admissible 4-prefix is constant from round 2 on.
+	EnumeratePrefixes(a, 4, func(p Prefix) bool {
+		for i := 2; i < 4; i++ {
+			if !p.Graphs[i].Equal(p.Graphs[1]) {
+				t.Errorf("prefix %v not constant from the deadline", p.Graphs)
+			}
+		}
+		return true
+	})
+	if _, ok := Admits(a, []graph.Graph{graph.Both, graph.Left, graph.Right}); ok {
+		t.Error("post-deadline alternation must be inadmissible")
+	}
+}
+
+func TestCommittedSuffixErrors(t *testing.T) {
+	if _, err := NewCommittedSuffix("", nil, nil, 1); err == nil {
+		t.Error("no commitment graphs: want error")
+	}
+	if _, err := NewCommittedSuffix("", nil, []graph.Graph{graph.Left}, 0); err == nil {
+		t.Error("deadline 0: want error")
+	}
+}
+
+func TestUnionOfLassoSets(t *testing.T) {
+	left := MustLassoSet("", Repeat(graph.Left))
+	right := MustLassoSet("", Repeat(graph.Right))
+	u := MustUnion("", left, right)
+	if !u.Compact() {
+		t.Error("union of compact members must be compact")
+	}
+	if err := Validate(u, 5); err != nil {
+		t.Fatal(err)
+	}
+	// The union is {<-^ω, ->^ω}: exactly 2 admissible prefixes per length.
+	if got := CountPrefixes(u, 4); got != 2 {
+		t.Errorf("CountPrefixes(4) = %d, want 2", got)
+	}
+	if _, ok := Admits(u, []graph.Graph{graph.Left, graph.Right}); ok {
+		t.Error("<-,-> must be inadmissible in the union of constants")
+	}
+	if _, ok := Admits(u, []graph.Graph{graph.Right, graph.Right}); !ok {
+		t.Error("->,-> must be admissible")
+	}
+}
+
+func TestUnionMatchesCommittedDeadline1(t *testing.T) {
+	// Union of the two one-word adversaries equals committed-suffix with
+	// deadline 1 over the same commitment set.
+	u := MustUnion("",
+		MustLassoSet("", Repeat(graph.Left)),
+		MustLassoSet("", Repeat(graph.Right)))
+	c := MustCommittedSuffix("", nil, []graph.Graph{graph.Left, graph.Right}, 1)
+	for rounds := 1; rounds <= 4; rounds++ {
+		if gu, gc := CountPrefixes(u, rounds), CountPrefixes(c, rounds); gu != gc {
+			t.Errorf("rounds %d: union has %d prefixes, committed has %d", rounds, gu, gc)
+		}
+	}
+}
+
+func TestUnionMixedNodeCounts(t *testing.T) {
+	if _, err := NewUnion("", MustLassoSet("", Repeat(graph.Left)),
+		MustLassoSet("", Repeat(graph.New(3)))); err == nil {
+		t.Error("mixed node counts: want error")
+	}
+	if _, err := NewUnion(""); err == nil {
+		t.Error("empty union: want error")
+	}
+}
+
+func TestUnionWithOverlap(t *testing.T) {
+	// lossy2 ∪ lossy3 = lossy3.
+	u := MustUnion("", LossyLink2(), LossyLink3())
+	if got, want := CountPrefixes(u, 3), CountPrefixes(LossyLink3(), 3); got != want {
+		t.Errorf("CountPrefixes = %d, want %d", got, want)
+	}
+	if err := Validate(u, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLossBounded(t *testing.T) {
+	// n=2, f=1: {<->, <-, ->} — the classic lossy link.
+	a := LossBounded(2, 1)
+	if len(a.Graphs()) != 3 {
+		t.Fatalf("LossBounded(2,1) has %d graphs, want 3", len(a.Graphs()))
+	}
+	// n=3 counts: C(6,0)+C(6,1)=7 for f=1; +C(6,2)=22 for f=2.
+	if got := len(LossBounded(3, 1).Graphs()); got != 7 {
+		t.Errorf("LossBounded(3,1) has %d graphs, want 7", got)
+	}
+	if got := len(LossBounded(3, 2).Graphs()); got != 22 {
+		t.Errorf("LossBounded(3,2) has %d graphs, want 22", got)
+	}
+	// f=0 is the complete graph only.
+	if got := len(LossBounded(3, 0).Graphs()); got != 1 {
+		t.Errorf("LossBounded(3,0) has %d graphs, want 1", got)
+	}
+	// Every graph misses at most f edges.
+	for _, g := range LossBounded(3, 2).Graphs() {
+		if missing := 6 - g.EdgeCount(); missing > 2 {
+			t.Errorf("graph %v misses %d edges", g, missing)
+		}
+	}
+}
+
+// TestEventuallyStableRootSemantics: stability is about the root-component
+// vertex set, not graph identity — different stable graphs sharing a root
+// extend one streak; a root change resets it ([23]'s vertex-stability).
+func TestEventuallyStableRootSemantics(t *testing.T) {
+	star1a := graph.Star(3, 0)               // root {1}
+	star1b := graph.Star(3, 0).AddEdge(1, 2) // root {1}, extra edge
+	star2 := graph.Star(3, 1)                // root {2}
+	adv := MustEventuallyStable("", nil, []graph.Graph{star1a, star1b, star2}, 2)
+
+	// Alternating same-root graphs discharges the window.
+	s, ok := Admits(adv, []graph.Graph{star1a, star1b})
+	if !ok {
+		t.Fatal("word must be admissible")
+	}
+	if !adv.Done(s) {
+		t.Error("same-root alternation must complete the window")
+	}
+	// A root change resets the streak.
+	s2, _ := Admits(adv, []graph.Graph{star1a, star2})
+	if adv.Done(s2) {
+		t.Error("root change must reset the streak")
+	}
+	// ... and the new root then completes its own window.
+	s3, _ := Admits(adv, []graph.Graph{star1a, star2, star2})
+	if !adv.Done(s3) {
+		t.Error("second window must complete after the reset")
+	}
+}

@@ -1,0 +1,244 @@
+package ma
+
+import (
+	"fmt"
+
+	"topocon/internal/graph"
+)
+
+// EventuallyStable is the vertex-stable source component (VSSC) adversary
+// of Section 6.2/6.3 and [23]: it may play arbitrary "chaos" graphs, but
+// must eventually play graphs from its stable set whose (single) root
+// component stays the *same vertex set* for `window` consecutive rounds —
+// a vertex-stable root component; the graphs within the window may vary as
+// long as the root does not. It is non-compact: the limit sequences in
+// which stability never occurs are not admissible.
+type EventuallyStable struct {
+	n       int
+	name    string
+	choices []graph.Graph // chaos ∪ stable, deduplicated
+	stable  []graph.Graph
+	window  int
+	// rootOf maps a stable graph's key to its root-member bitmask; graphs
+	// absent from the map do not count toward stability windows.
+	rootOf map[string]uint64
+}
+
+var _ Adversary = (*EventuallyStable)(nil)
+
+// stableState tracks the current streak of stable graphs sharing one root
+// component. streakRoot is the common root bitmask (0 = no streak),
+// streakLen counts consecutive occurrences. done is absorbing.
+type stableState struct {
+	streakRoot uint64
+	streakLen  int
+	done       bool
+}
+
+// NewEventuallyStable builds the adversary. Every stable graph must have a
+// single root component (otherwise its streak could never enable
+// broadcast, making the stability promise useless); window must be ≥ 1.
+func NewEventuallyStable(name string, chaos, stable []graph.Graph, window int) (*EventuallyStable, error) {
+	if len(stable) == 0 {
+		return nil, fmt.Errorf("ma: eventually-stable adversary needs stable graphs")
+	}
+	if window < 1 {
+		return nil, fmt.Errorf("ma: window %d < 1", window)
+	}
+	n := stable[0].N()
+	for _, g := range stable {
+		if g.N() != n {
+			return nil, fmt.Errorf("ma: mixed node counts in stable set")
+		}
+		if _, ok := g.SingleRoot(); !ok {
+			return nil, fmt.Errorf("ma: stable graph %v has no single root component", g)
+		}
+	}
+	for _, g := range chaos {
+		if g.N() != n {
+			return nil, fmt.Errorf("ma: mixed node counts in chaos set")
+		}
+	}
+	e := &EventuallyStable{
+		n:      n,
+		name:   name,
+		window: window,
+		stable: append([]graph.Graph(nil), stable...),
+		rootOf: make(map[string]uint64, len(stable)),
+	}
+	if e.name == "" {
+		e.name = fmt.Sprintf("eventually-stable(window=%d)", window)
+	}
+	seen := make(map[string]bool, len(chaos)+len(stable))
+	add := func(g graph.Graph) {
+		if k := g.Key(); !seen[k] {
+			seen[k] = true
+			e.choices = append(e.choices, g)
+		}
+	}
+	for _, g := range chaos {
+		add(g)
+	}
+	for _, g := range stable {
+		add(g)
+		root, _ := g.SingleRoot() // validated above
+		e.rootOf[g.Key()] = root.Members
+	}
+	return e, nil
+}
+
+// MustEventuallyStable is NewEventuallyStable for statically-known inputs.
+func MustEventuallyStable(name string, chaos, stable []graph.Graph, window int) *EventuallyStable {
+	a, err := NewEventuallyStable(name, chaos, stable, window)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Window returns the required stability window length.
+func (e *EventuallyStable) Window() int { return e.window }
+
+// N implements Adversary.
+func (e *EventuallyStable) N() int { return e.n }
+
+// Name implements Adversary.
+func (e *EventuallyStable) Name() string { return e.name }
+
+// Compact implements Adversary; the adversary is not limit-closed.
+func (e *EventuallyStable) Compact() bool { return false }
+
+// Start implements Adversary.
+func (e *EventuallyStable) Start() State {
+	return stableState{}
+}
+
+// Choices implements Adversary: any graph, any time.
+func (e *EventuallyStable) Choices(State) []graph.Graph { return e.choices }
+
+// Step implements Adversary: a streak continues while consecutive graphs
+// are stable and share the same root-component vertex set.
+func (e *EventuallyStable) Step(s State, g graph.Graph) State {
+	st := s.(stableState)
+	if st.done {
+		return st
+	}
+	root, isStable := e.rootOf[g.Key()]
+	if !isStable {
+		return stableState{}
+	}
+	if root == st.streakRoot {
+		st.streakLen++
+	} else {
+		st = stableState{streakRoot: root, streakLen: 1}
+	}
+	if st.streakLen >= e.window {
+		return stableState{done: true}
+	}
+	return st
+}
+
+// Done implements Adversary.
+func (e *EventuallyStable) Done(s State) bool { return s.(stableState).done }
+
+// DeadlineStable is the compactification of EventuallyStable: the stability
+// window must be completed no later than round `deadline`. Every member of
+// the deadline-R family is a compact adversary; the union over all R is the
+// non-compact EventuallyStable adversary. The family exhibits the paper's
+// non-compactness phenomenon: decision times grow without bound as R grows
+// (Section 6.3).
+type DeadlineStable struct {
+	inner    *EventuallyStable
+	deadline int
+	name     string
+}
+
+var _ Adversary = (*DeadlineStable)(nil)
+
+// deadlineState wraps the inner state with the current round number (only
+// tracked until the obligation is discharged, to keep the state space
+// small).
+type deadlineState struct {
+	inner stableState
+	round int
+}
+
+// NewDeadlineStable wraps an EventuallyStable adversary with a deadline.
+// The deadline must leave room for at least one full window.
+func NewDeadlineStable(inner *EventuallyStable, deadline int) (*DeadlineStable, error) {
+	if deadline < inner.window {
+		return nil, fmt.Errorf("ma: deadline %d shorter than window %d", deadline, inner.window)
+	}
+	return &DeadlineStable{
+		inner:    inner,
+		deadline: deadline,
+		name:     fmt.Sprintf("%s[deadline=%d]", inner.name, deadline),
+	}, nil
+}
+
+// MustDeadlineStable is NewDeadlineStable for statically-known inputs.
+func MustDeadlineStable(inner *EventuallyStable, deadline int) *DeadlineStable {
+	a, err := NewDeadlineStable(inner, deadline)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Deadline returns the latest round by which the window must complete.
+func (d *DeadlineStable) Deadline() int { return d.deadline }
+
+// N implements Adversary.
+func (d *DeadlineStable) N() int { return d.inner.n }
+
+// Name implements Adversary.
+func (d *DeadlineStable) Name() string { return d.name }
+
+// Compact implements Adversary: with the window completion forced by the
+// deadline, admissibility is a safety property.
+func (d *DeadlineStable) Compact() bool { return true }
+
+// Start implements Adversary.
+func (d *DeadlineStable) Start() State {
+	return deadlineState{inner: stableState{}}
+}
+
+// Choices implements Adversary: all graphs whose play keeps the deadline
+// satisfiable.
+func (d *DeadlineStable) Choices(s State) []graph.Graph {
+	st := s.(deadlineState)
+	if st.inner.done {
+		return d.inner.choices
+	}
+	remaining := d.deadline - st.round // rounds left including this one
+	allowed := make([]graph.Graph, 0, len(d.inner.choices))
+	for _, g := range d.inner.choices {
+		next := d.inner.Step(st.inner, g).(stableState)
+		needed := d.inner.window - next.streakLen
+		if next.done {
+			needed = 0
+		}
+		if needed <= remaining-1 {
+			allowed = append(allowed, g)
+		}
+	}
+	return allowed
+}
+
+// Step implements Adversary.
+func (d *DeadlineStable) Step(s State, g graph.Graph) State {
+	st := s.(deadlineState)
+	if st.inner.done {
+		return st
+	}
+	next := d.inner.Step(st.inner, g).(stableState)
+	if next.done {
+		return deadlineState{inner: next}
+	}
+	return deadlineState{inner: next, round: st.round + 1}
+}
+
+// Done implements Adversary. Compact adversaries report Done everywhere:
+// the deadline makes the obligation a safety constraint enforced by
+// Choices, so every admissible infinite walk discharges it.
+func (d *DeadlineStable) Done(State) bool { return true }

@@ -1,0 +1,180 @@
+package ma
+
+import (
+	"fmt"
+	"strings"
+
+	"topocon/internal/graph"
+)
+
+// Union is the set union of message adversaries: a sequence is admissible
+// iff it is admissible under at least one member. Unions are how richer
+// adversaries are assembled from simple ones (e.g. "committed to <- or to
+// ->" is the union of two one-word adversaries), and how the non-compact
+// limits of deadline families are described (the union over all deadlines).
+//
+// Caveat for non-compact members: Done reports "some live member's
+// obligations discharged". If a walk later leaves that member's language,
+// Done may recede — violating the absorbing-Done contract. Unions of
+// compact members never exhibit this (Done is true on all reachable
+// states); for unions involving non-compact members, run Validate before
+// relying on prefix Done times.
+type Union struct {
+	name    string
+	n       int
+	members []Adversary
+	compact bool
+	// cache interns member-state vectors: union states are the comparable
+	// string keys, resolved back through this table.
+	cache map[string][]State
+}
+
+var _ Adversary = (*Union)(nil)
+
+// unionState is the comparable union-automaton state: a rendered key of
+// the per-member states (with dead branches marked).
+type unionState struct {
+	key string
+}
+
+// NewUnion builds the union adversary. All members must agree on the node
+// count.
+func NewUnion(name string, members ...Adversary) (*Union, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("ma: union needs at least one member")
+	}
+	n := members[0].N()
+	compact := true
+	for _, m := range members {
+		if m.N() != n {
+			return nil, fmt.Errorf("ma: union members have different node counts")
+		}
+		if !m.Compact() {
+			compact = false
+		}
+	}
+	if name == "" {
+		names := make([]string, len(members))
+		for i, m := range members {
+			names[i] = m.Name()
+		}
+		name = strings.Join(names, " ∪ ")
+	}
+	return &Union{
+		name:    name,
+		n:       n,
+		members: append([]Adversary(nil), members...),
+		compact: compact,
+		cache:   make(map[string][]State, 64),
+	}, nil
+}
+
+// MustUnion is NewUnion for statically-known members.
+func MustUnion(name string, members ...Adversary) *Union {
+	u, err := NewUnion(name, members...)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// N implements Adversary.
+func (u *Union) N() int { return u.n }
+
+// Name implements Adversary.
+func (u *Union) Name() string { return u.name }
+
+// Compact implements Adversary: a finite union of closed sets is closed,
+// so the union is compact iff every member is. (With a non-compact member
+// the union may still happen to be closed, but reporting non-compact is
+// the safe direction: it only makes the checker more conservative.)
+func (u *Union) Compact() bool { return u.compact }
+
+// Start implements Adversary.
+func (u *Union) Start() State {
+	values := make([]State, len(u.members))
+	for i, m := range u.members {
+		values[i] = m.Start()
+	}
+	return u.intern(values)
+}
+
+// Choices implements Adversary: the deduplicated union of live members'
+// choices.
+func (u *Union) Choices(s State) []graph.Graph {
+	values := u.resolve(s)
+	var out []graph.Graph
+	seen := make(map[string]bool, 4)
+	for i, m := range u.members {
+		ms := values[i]
+		if ms == nil {
+			continue
+		}
+		for _, g := range m.Choices(ms) {
+			if k := g.Key(); !seen[k] {
+				seen[k] = true
+				out = append(out, g)
+			}
+		}
+	}
+	return out
+}
+
+// Step implements Adversary: members that do not offer g die.
+func (u *Union) Step(s State, g graph.Graph) State {
+	values := u.resolve(s)
+	next := make([]State, len(u.members))
+	for i, m := range u.members {
+		ms := values[i]
+		if ms == nil {
+			continue
+		}
+		for _, c := range m.Choices(ms) {
+			if c.Equal(g) {
+				next[i] = m.Step(ms, g)
+				break
+			}
+		}
+	}
+	return u.intern(next)
+}
+
+// Done implements Adversary: obligations are discharged once some live
+// member's are.
+func (u *Union) Done(s State) bool {
+	values := u.resolve(s)
+	for i, m := range u.members {
+		if ms := values[i]; ms != nil && m.Done(ms) {
+			return true
+		}
+	}
+	return false
+}
+
+func (u *Union) intern(values []State) State {
+	var sb strings.Builder
+	for i, v := range values {
+		if v == nil {
+			fmt.Fprintf(&sb, "%d=dead;", i)
+		} else {
+			fmt.Fprintf(&sb, "%d=%v;", i, v)
+		}
+	}
+	key := sb.String()
+	if _, ok := u.cache[key]; !ok {
+		u.cache[key] = values
+	}
+	return unionState{key: key}
+}
+
+func (u *Union) resolve(s State) []State {
+	st, ok := s.(unionState)
+	if !ok {
+		panic(fmt.Sprintf("ma: foreign state %v passed to union adversary", s))
+	}
+	values, ok := u.cache[st.key]
+	if !ok {
+		panic(fmt.Sprintf("ma: unknown union state %q", st.key))
+	}
+	return values
+}

@@ -1,0 +1,104 @@
+package ma
+
+import (
+	"fmt"
+	"strings"
+
+	"topocon/internal/graph"
+)
+
+// GraphWord is an ultimately-periodic infinite graph sequence u·v^ω, the
+// finite representation of the limit sequences that non-compact adversaries
+// exclude (fair/unfair sequences, Definition 5.16) and the building block
+// of explicit finite message adversaries.
+type GraphWord struct {
+	// Prefix is the finite transient u (may be empty).
+	Prefix []graph.Graph
+	// Cycle is the repeated part v (must be non-empty).
+	Cycle []graph.Graph
+}
+
+// NewGraphWord validates and returns the word u·v^ω.
+func NewGraphWord(prefix, cycle []graph.Graph) (GraphWord, error) {
+	if len(cycle) == 0 {
+		return GraphWord{}, fmt.Errorf("ma: graph word needs a non-empty cycle")
+	}
+	n := cycle[0].N()
+	for _, g := range cycle {
+		if g.N() != n {
+			return GraphWord{}, fmt.Errorf("ma: mixed node counts in cycle")
+		}
+	}
+	for _, g := range prefix {
+		if g.N() != n {
+			return GraphWord{}, fmt.Errorf("ma: mixed node counts in prefix")
+		}
+	}
+	return GraphWord{
+		Prefix: append([]graph.Graph(nil), prefix...),
+		Cycle:  append([]graph.Graph(nil), cycle...),
+	}, nil
+}
+
+// MustGraphWord is NewGraphWord for statically-known words.
+func MustGraphWord(prefix, cycle []graph.Graph) GraphWord {
+	w, err := NewGraphWord(prefix, cycle)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Repeat returns the word v^ω with empty transient.
+func Repeat(cycle ...graph.Graph) GraphWord {
+	return MustGraphWord(nil, cycle)
+}
+
+// N returns the node count.
+func (w GraphWord) N() int { return w.Cycle[0].N() }
+
+// At returns the round-(t+1) graph, i.e. the graph at 0-based position t.
+func (w GraphWord) At(t int) graph.Graph {
+	if t < len(w.Prefix) {
+		return w.Prefix[t]
+	}
+	return w.Cycle[(t-len(w.Prefix))%len(w.Cycle)]
+}
+
+// PhaseCount returns the number of distinct positions (prefix length plus
+// cycle length); positions ≥ PhaseCount wrap into the cycle.
+func (w GraphWord) PhaseCount() int { return len(w.Prefix) + len(w.Cycle) }
+
+// Phase normalizes a 0-based position to a phase in [0, PhaseCount).
+func (w GraphWord) Phase(t int) int {
+	if t < len(w.Prefix) {
+		return t
+	}
+	return len(w.Prefix) + (t-len(w.Prefix))%len(w.Cycle)
+}
+
+// Take returns the first `rounds` graphs of the word.
+func (w GraphWord) Take(rounds int) []graph.Graph {
+	out := make([]graph.Graph, rounds)
+	for t := 0; t < rounds; t++ {
+		out[t] = w.At(t)
+	}
+	return out
+}
+
+// String renders the word, e.g. "[1->2];([2->1] [1->2])^w".
+func (w GraphWord) String() string {
+	parts := make([]string, 0, len(w.Prefix))
+	for _, g := range w.Prefix {
+		parts = append(parts, g.String())
+	}
+	cyc := make([]string, 0, len(w.Cycle))
+	for _, g := range w.Cycle {
+		cyc = append(cyc, g.String())
+	}
+	head := strings.Join(parts, " ")
+	if head != "" {
+		head += ";"
+	}
+	return head + "(" + strings.Join(cyc, " ") + ")^w"
+}

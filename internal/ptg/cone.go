@@ -1,0 +1,110 @@
+package ptg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TimeNode is a node (Proc, Time) of a process-time graph. At Time 0 the
+// node additionally carries the input value (see Cone.Input).
+type TimeNode struct {
+	Proc, Time int
+}
+
+// Cone is the explicit causal cone (view) of a process at a time: the
+// sub-DAG of the process-time graph induced by all nodes having a path to
+// the apex. It exists as an independently-computed reference for the
+// hash-consed ViewIDs (the two are cross-checked by tests) and for
+// rendering.
+type Cone struct {
+	// Apex is the node (p, t) whose causal past this cone is.
+	Apex TimeNode
+	// Nodes maps each cone node to true.
+	Nodes map[TimeNode]bool
+	// Edges maps each cone node to its in-neighbours within the cone.
+	Edges map[TimeNode][]TimeNode
+	// Input[p] is x_p for each process p whose initial node is in the cone.
+	Input map[int]int
+}
+
+// ConeOf computes the explicit causal cone of (p, t) in the process-time
+// graph of run r. It walks backwards from the apex; because graphs carry
+// self-loops, the cone contains (p, s) for every s ≤ t.
+func ConeOf(r Run, p, t int) *Cone {
+	c := &Cone{
+		Apex:  TimeNode{Proc: p, Time: t},
+		Nodes: make(map[TimeNode]bool),
+		Edges: make(map[TimeNode][]TimeNode),
+		Input: make(map[int]int),
+	}
+	var visit func(node TimeNode)
+	visit = func(node TimeNode) {
+		if c.Nodes[node] {
+			return
+		}
+		c.Nodes[node] = true
+		if node.Time == 0 {
+			c.Input[node.Proc] = r.Inputs[node.Proc]
+			return
+		}
+		g := r.Graph(node.Time)
+		in := g.In(node.Proc)
+		preds := make([]TimeNode, 0, r.N())
+		for q := 0; q < r.N(); q++ {
+			if in&(1<<uint(q)) != 0 {
+				pred := TimeNode{Proc: q, Time: node.Time - 1}
+				preds = append(preds, pred)
+				visit(pred)
+			}
+		}
+		c.Edges[node] = preds
+	}
+	visit(c.Apex)
+	return c
+}
+
+// Encode returns a canonical string determined exactly by the cone
+// contents (apex, node set, edge set, inputs). Two cones are equal as
+// process-time sub-DAGs iff their encodings are equal.
+func (c *Cone) Encode() string {
+	nodes := make([]TimeNode, 0, len(c.Nodes))
+	for node := range c.Nodes {
+		nodes = append(nodes, node)
+	}
+	sortNodes(nodes)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "apex=%d@%d;", c.Apex.Proc, c.Apex.Time)
+	for _, node := range nodes {
+		if node.Time == 0 {
+			fmt.Fprintf(&sb, "n%d@0=%d;", node.Proc, c.Input[node.Proc])
+			continue
+		}
+		fmt.Fprintf(&sb, "n%d@%d<-", node.Proc, node.Time)
+		preds := append([]TimeNode(nil), c.Edges[node]...)
+		sortNodes(preds)
+		for _, pr := range preds {
+			fmt.Fprintf(&sb, "%d,", pr.Proc)
+		}
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}
+
+// Size returns the number of nodes in the cone.
+func (c *Cone) Size() int { return len(c.Nodes) }
+
+// ContainsInitial reports whether the initial node of process q is in the
+// cone — i.e. whether the cone's owner has heard q.
+func (c *Cone) ContainsInitial(q int) bool {
+	return c.Nodes[TimeNode{Proc: q, Time: 0}]
+}
+
+func sortNodes(nodes []TimeNode) {
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].Time != nodes[j].Time {
+			return nodes[i].Time < nodes[j].Time
+		}
+		return nodes[i].Proc < nodes[j].Proc
+	})
+}

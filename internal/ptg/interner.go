@@ -1,0 +1,77 @@
+package ptg
+
+import "encoding/binary"
+
+// ViewID identifies a hash-consed causal cone. Two views (possibly from
+// different runs) are equal as process-time sub-DAGs if and only if their
+// ViewIDs from the same Interner are equal.
+type ViewID int32
+
+// Interner hash-conses causal cones. All runs that are to be compared must
+// share one Interner; the prefix-space machinery in internal/topo owns one
+// per space.
+//
+// The recursive encoding is collision-free by construction (it is a
+// canonical serialization, not a hash): a leaf encodes (process, input
+// value); an inner node encodes (process, sorted child (q, ViewID) pairs).
+// By induction on round number, equal encodings imply equal cones: the
+// unfolding of a cone determines the cone, because the in-neighbourhood of
+// every cone node within the cone appears at each of its occurrences.
+type Interner struct {
+	table map[string]ViewID
+	// stats
+	leaves int
+	nodes  int
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{table: make(map[string]ViewID, 1024)}
+}
+
+// Size returns the number of distinct views interned so far.
+func (in *Interner) Size() int { return len(in.table) }
+
+// Leaf interns the time-0 view of process p with input x.
+func (in *Interner) Leaf(p, x int) ViewID {
+	var buf [1 + 2*binary.MaxVarintLen64]byte
+	buf[0] = 'L'
+	k := 1
+	k += binary.PutUvarint(buf[k:], uint64(p))
+	k += binary.PutVarint(buf[k:], int64(x))
+	return in.intern(string(buf[:k]))
+}
+
+// Node interns the time-t view of process p whose round-t in-neighbours
+// (ascending process order) have the time-(t-1) views children. The caller
+// must pass children aligned with the ascending order of the in-neighbour
+// set; the neighbour identities are part of the encoding via their own
+// leaf/node process labels plus position, so the pair list is (q, id).
+func (in *Interner) Node(p int, qs []int, children []ViewID) ViewID {
+	buf := make([]byte, 0, 2+len(children)*(2*binary.MaxVarintLen64))
+	var tmp [binary.MaxVarintLen64]byte
+	buf = append(buf, 'N')
+	k := binary.PutUvarint(tmp[:], uint64(p))
+	buf = append(buf, tmp[:k]...)
+	for i, id := range children {
+		k = binary.PutUvarint(tmp[:], uint64(qs[i]))
+		buf = append(buf, tmp[:k]...)
+		k = binary.PutUvarint(tmp[:], uint64(id))
+		buf = append(buf, tmp[:k]...)
+	}
+	return in.intern(string(buf))
+}
+
+func (in *Interner) intern(key string) ViewID {
+	if id, ok := in.table[key]; ok {
+		return id
+	}
+	id := ViewID(len(in.table))
+	in.table[key] = id
+	if key[0] == 'L' {
+		in.leaves++
+	} else {
+		in.nodes++
+	}
+	return id
+}

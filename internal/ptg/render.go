@@ -1,0 +1,109 @@
+package ptg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render draws the process-time graph of run r up to time t as ASCII in the
+// style of Figure 2 of the paper: one row per time step, initial nodes
+// annotated with input values, and round edges listed per row. If highlight
+// is a valid process index, the nodes and edges of that process's time-t
+// view are marked with '*'.
+func Render(r Run, t int, highlight int) string {
+	var cone *Cone
+	if highlight >= 0 && highlight < r.N() {
+		cone = ConeOf(r, highlight, t)
+	}
+	inCone := func(p, s int) bool {
+		return cone != nil && cone.Nodes[TimeNode{Proc: p, Time: s}]
+	}
+	var sb strings.Builder
+	for s := 0; s <= t; s++ {
+		fmt.Fprintf(&sb, "t=%d  ", s)
+		for p := 0; p < r.N(); p++ {
+			if p > 0 {
+				sb.WriteString("   ")
+			}
+			mark := " "
+			if inCone(p, s) {
+				mark = "*"
+			}
+			if s == 0 {
+				fmt.Fprintf(&sb, "(%d,0,%d)%s", p+1, r.Inputs[p], mark)
+			} else {
+				fmt.Fprintf(&sb, "(%d,%d)%s", p+1, s, mark)
+			}
+		}
+		sb.WriteByte('\n')
+		if s == t {
+			break
+		}
+		g := r.Graph(s + 1)
+		edges := make([]string, 0, r.N()*r.N())
+		for p := 0; p < r.N(); p++ {
+			for q := 0; q < r.N(); q++ {
+				if !g.HasEdge(p, q) {
+					continue
+				}
+				mark := ""
+				if inCone(q, s+1) { // edge into a cone node is a cone edge
+					mark = "*"
+				}
+				edges = append(edges, fmt.Sprintf("(%d,%d)->(%d,%d)%s", p+1, s, q+1, s+1, mark))
+			}
+		}
+		fmt.Fprintf(&sb, "      %s\n", strings.Join(edges, " "))
+	}
+	return sb.String()
+}
+
+// RenderDOT emits the process-time graph of run r up to time t in Graphviz
+// DOT format; if highlight is a valid process index, the nodes and edges of
+// that process's time-t view are drawn bold.
+func RenderDOT(r Run, t int, highlight int) string {
+	var cone *Cone
+	if highlight >= 0 && highlight < r.N() {
+		cone = ConeOf(r, highlight, t)
+	}
+	inCone := func(p, s int) bool {
+		return cone != nil && cone.Nodes[TimeNode{Proc: p, Time: s}]
+	}
+	var sb strings.Builder
+	sb.WriteString("digraph PT {\n  rankdir=TB;\n  node [shape=circle];\n")
+	for s := 0; s <= t; s++ {
+		fmt.Fprintf(&sb, "  { rank=same;")
+		for p := 0; p < r.N(); p++ {
+			fmt.Fprintf(&sb, " n%d_%d;", p, s)
+		}
+		sb.WriteString(" }\n")
+		for p := 0; p < r.N(); p++ {
+			label := fmt.Sprintf("(%d,%d)", p+1, s)
+			if s == 0 {
+				label = fmt.Sprintf("(%d,0,%d)", p+1, r.Inputs[p])
+			}
+			style := ""
+			if inCone(p, s) {
+				style = ", style=bold, color=blue"
+			}
+			fmt.Fprintf(&sb, "  n%d_%d [label=\"%s\"%s];\n", p, s, label, style)
+		}
+	}
+	for s := 1; s <= t; s++ {
+		g := r.Graph(s)
+		for p := 0; p < r.N(); p++ {
+			for q := 0; q < r.N(); q++ {
+				if !g.HasEdge(p, q) {
+					continue
+				}
+				style := ""
+				if inCone(q, s) {
+					style = " [style=bold, color=blue]"
+				}
+				fmt.Fprintf(&sb, "  n%d_%d -> n%d_%d%s;\n", p, s-1, q, s, style)
+			}
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

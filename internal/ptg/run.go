@@ -1,0 +1,105 @@
+// Package ptg implements process-time graphs (Section 3 of the paper) and
+// the local views that the process-view and minimum topologies are built
+// from (Section 4).
+//
+// A run prefix is an input assignment x ∈ V^n plus a finite sequence of
+// communication graphs G_1..G_t. The view of process p at time t is the
+// causal cone of the node (p,t) in the process-time graph: the sub-DAG
+// induced by all nodes with a path to (p,t). Because all graphs carry
+// self-loops, the cone at time t contains the cones of (p,s) for every
+// s ≤ t, which gives the refinement property the topology packages rely on:
+// V_p(a^t) = V_p(b^t) implies V_p(a^s) = V_p(b^s) for all s ≤ t.
+//
+// Views are hash-consed: structurally equal cones are assigned the same
+// small integer ID by an Interner, so view comparison — the primitive
+// underlying d_P and d_min — is integer comparison.
+package ptg
+
+import (
+	"fmt"
+	"strings"
+
+	"topocon/internal/graph"
+)
+
+// Run is a finite run prefix: an input assignment plus a graph sequence.
+// Runs are value-like; Extend copies.
+type Run struct {
+	// Inputs[p] is the input value x_p of process p.
+	Inputs []int
+	// Graphs[t-1] is the round-t communication graph G_t.
+	Graphs []graph.Graph
+}
+
+// NewRun returns a run with the given inputs and no rounds yet.
+func NewRun(inputs []int) Run {
+	return Run{Inputs: append([]int(nil), inputs...)}
+}
+
+// N returns the number of processes.
+func (r Run) N() int { return len(r.Inputs) }
+
+// Rounds returns the number of rounds t in the prefix.
+func (r Run) Rounds() int { return len(r.Graphs) }
+
+// Graph returns the round-t graph G_t (1-based round index).
+func (r Run) Graph(t int) graph.Graph { return r.Graphs[t-1] }
+
+// Extend returns a copy of r with one more round appended.
+func (r Run) Extend(g graph.Graph) Run {
+	graphs := make([]graph.Graph, len(r.Graphs)+1)
+	copy(graphs, r.Graphs)
+	graphs[len(r.Graphs)] = g
+	return Run{Inputs: r.Inputs, Graphs: graphs}
+}
+
+// Key returns a canonical map key identifying the run prefix.
+func (r Run) Key() string {
+	var sb strings.Builder
+	sb.Grow(2*len(r.Inputs) + 8*len(r.Graphs))
+	for _, x := range r.Inputs {
+		fmt.Fprintf(&sb, "%d,", x)
+	}
+	sb.WriteByte('|')
+	for _, g := range r.Graphs {
+		sb.WriteString(g.Key())
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}
+
+// String renders the run compactly, e.g. "x=(0,1) G=[1->2],[2->1]".
+func (r Run) String() string {
+	var sb strings.Builder
+	sb.WriteString("x=(")
+	for i, x := range r.Inputs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d", x)
+	}
+	sb.WriteString(") G=")
+	for i, g := range r.Graphs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(g.String())
+	}
+	return sb.String()
+}
+
+// IsValent reports whether all processes share the same input value, and
+// returns that value. A run with such an input assignment is the paper's
+// v-valent sequence z_v.
+func (r Run) IsValent() (v int, ok bool) {
+	if len(r.Inputs) == 0 {
+		return 0, false
+	}
+	v = r.Inputs[0]
+	for _, x := range r.Inputs[1:] {
+		if x != v {
+			return 0, false
+		}
+	}
+	return v, true
+}

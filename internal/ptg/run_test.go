@@ -1,0 +1,125 @@
+package ptg
+
+import (
+	"strings"
+	"testing"
+
+	"topocon/internal/graph"
+)
+
+func TestRunBasics(t *testing.T) {
+	r := NewRun([]int{0, 1})
+	if r.N() != 2 || r.Rounds() != 0 {
+		t.Fatalf("N=%d Rounds=%d, want 2/0", r.N(), r.Rounds())
+	}
+	r2 := r.Extend(graph.Right)
+	if r.Rounds() != 0 {
+		t.Error("Extend mutated the receiver")
+	}
+	if r2.Rounds() != 1 || !r2.Graph(1).Equal(graph.Right) {
+		t.Errorf("extended run wrong: %v", r2)
+	}
+}
+
+func TestRunExtendNoAliasing(t *testing.T) {
+	r := NewRun([]int{0, 0}).Extend(graph.Right)
+	a := r.Extend(graph.Left)
+	b := r.Extend(graph.Both)
+	if !a.Graph(2).Equal(graph.Left) || !b.Graph(2).Equal(graph.Both) {
+		t.Error("sibling extensions alias the same backing array")
+	}
+}
+
+func TestRunKeyDistinct(t *testing.T) {
+	seen := map[string]Run{}
+	runs := []Run{
+		NewRun([]int{0, 0}),
+		NewRun([]int{0, 1}),
+		NewRun([]int{0, 0}).Extend(graph.Right),
+		NewRun([]int{0, 0}).Extend(graph.Left),
+		NewRun([]int{0, 0}).Extend(graph.Right).Extend(graph.Left),
+	}
+	for _, r := range runs {
+		k := r.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("runs %v and %v share key %q", prev, r, k)
+		}
+		seen[k] = r
+	}
+}
+
+func TestIsValent(t *testing.T) {
+	if v, ok := NewRun([]int{1, 1, 1}).IsValent(); !ok || v != 1 {
+		t.Errorf("IsValent = (%d,%v), want (1,true)", v, ok)
+	}
+	if _, ok := NewRun([]int{0, 1}).IsValent(); ok {
+		t.Error("mixed inputs reported valent")
+	}
+	if _, ok := (Run{}).IsValent(); ok {
+		t.Error("empty run reported valent")
+	}
+}
+
+func TestRunString(t *testing.T) {
+	r := NewRun([]int{0, 1}).Extend(graph.Right)
+	s := r.String()
+	if !strings.Contains(s, "x=(0,1)") || !strings.Contains(s, "[1->2]") {
+		t.Errorf("String() = %q, missing expected pieces", s)
+	}
+}
+
+func TestRenderHighlight(t *testing.T) {
+	g1 := graph.MustParse(3, "1->2, 3->2")
+	g2 := graph.MustParse(3, "2->3")
+	r := NewRun([]int{1, 0, 1}).Extend(g1).Extend(g2)
+	out := Render(r, 2, 0)
+	for _, want := range []string{"(1,0,1)", "(2,0,0)", "(3,0,1)", "(1,2)", "t=2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render output missing %q:\n%s", want, out)
+		}
+	}
+	// Process 1's view must be highlighted at its own nodes.
+	if !strings.Contains(out, "(1,0,1)*") {
+		t.Errorf("Render did not highlight process 1's initial node:\n%s", out)
+	}
+	// Process 2's initial node is not in process 1's cone here (no path
+	// from (2,0) to (1,2): edges go 1->2 and 3->2, then 2->3).
+	if strings.Contains(out, "(2,0,0)*") {
+		t.Errorf("Render wrongly highlighted (2,0):\n%s", out)
+	}
+}
+
+func TestConeSizeAndEncode(t *testing.T) {
+	r := NewRun([]int{0, 1}).Extend(graph.Both)
+	c := ConeOf(r, 0, 1)
+	// Cone of (1,1) after <->: nodes (1,1),(1,0),(2,0).
+	if c.Size() != 3 {
+		t.Errorf("cone size = %d, want 3", c.Size())
+	}
+	if !c.ContainsInitial(1) {
+		t.Error("cone must contain (2,0) after <->")
+	}
+	enc := c.Encode()
+	if !strings.Contains(enc, "apex=0@1") {
+		t.Errorf("Encode() = %q missing apex", enc)
+	}
+	// Deterministic encoding.
+	if enc != ConeOf(r, 0, 1).Encode() {
+		t.Error("Encode is not deterministic")
+	}
+}
+
+func TestRenderDOT(t *testing.T) {
+	g1 := graph.MustParse(3, "1->2, 3->2")
+	r := NewRun([]int{1, 0, 1}).Extend(g1)
+	out := RenderDOT(r, 1, 1)
+	for _, want := range []string{"digraph PT", "n0_0", "(2,0,0)", "n0_0 -> n1_1", "style=bold"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RenderDOT missing %q:\n%s", want, out)
+		}
+	}
+	// No highlight: no bold styling.
+	if strings.Contains(RenderDOT(r, 1, -1), "bold") {
+		t.Error("unexpected highlight without a highlighted process")
+	}
+}

@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"math/rand"
+
+	"topocon/internal/combi"
+	"topocon/internal/graph"
+	"topocon/internal/ma"
+	"topocon/internal/ptg"
+)
+
+// Exhaustive executes the factory's processes on every admissible run of
+// the adversary with the given input domain and round count, calling yield
+// with each trace and the prefix metadata until yield returns false.
+func Exhaustive(adv ma.Adversary, factory func() Process, inputDomain, rounds int,
+	yield func(tr *Trace, pfx ma.Prefix) bool) {
+	n := adv.N()
+	combi.Words(inputDomain, n, func(inputs []int) bool {
+		base := ptg.NewRun(inputs)
+		ok := true
+		ma.EnumeratePrefixes(adv, rounds, func(pfx ma.Prefix) bool {
+			run := base
+			for _, g := range pfx.Graphs {
+				run = run.Extend(g)
+			}
+			if !yield(Execute(factory, run), pfx) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	})
+}
+
+// RandomRun samples one admissible run: uniform inputs and a uniformly
+// random adversary choice each round.
+func RandomRun(adv ma.Adversary, rng *rand.Rand, inputDomain, rounds int) ptg.Run {
+	n := adv.N()
+	inputs := make([]int, n)
+	for p := range inputs {
+		inputs[p] = rng.Intn(inputDomain)
+	}
+	run := ptg.NewRun(inputs)
+	s := adv.Start()
+	for t := 0; t < rounds; t++ {
+		choices := adv.Choices(s)
+		g := choices[rng.Intn(len(choices))]
+		run = run.Extend(g)
+		s = adv.Step(s, g)
+	}
+	return run
+}
+
+// RandomDoneRun samples an admissible run whose liveness obligations are
+// discharged: it biases the adversary walk toward obligation-discharging
+// choices once `forceAfter` rounds have passed without discharge. The
+// returned bool reports whether discharge was achieved within the round
+// budget.
+func RandomDoneRun(adv ma.Adversary, rng *rand.Rand, inputDomain, rounds, forceAfter int) (ptg.Run, bool) {
+	n := adv.N()
+	inputs := make([]int, n)
+	for p := range inputs {
+		inputs[p] = rng.Intn(inputDomain)
+	}
+	run := ptg.NewRun(inputs)
+	s := adv.Start()
+	for t := 0; t < rounds; t++ {
+		choices := adv.Choices(s)
+		var g graph.Graph
+		if !adv.Done(s) && t >= forceAfter {
+			// Greedy: prefer a choice that makes progress toward Done,
+			// measured by reaching a Done state soonest in a shallow
+			// lookahead.
+			g = greedyDoneChoice(adv, s, choices, rounds-t)
+		} else {
+			g = choices[rng.Intn(len(choices))]
+		}
+		run = run.Extend(g)
+		s = adv.Step(s, g)
+	}
+	return run, adv.Done(s)
+}
+
+// greedyDoneChoice picks the choice minimizing the depth to a Done state
+// within the given budget (first choice wins ties).
+func greedyDoneChoice(adv ma.Adversary, s ma.State, choices []graph.Graph, budget int) graph.Graph {
+	best := choices[0]
+	bestDepth := budget + 1
+	for _, g := range choices {
+		if d := doneDepth(adv, adv.Step(s, g), budget-1, bestDepth-1); d+1 < bestDepth {
+			bestDepth = d + 1
+			best = g
+		}
+	}
+	return best
+}
+
+// doneDepth returns the least number of rounds to reach a Done state from
+// s, up to the budget (returns budget+1 when unreachable within it, and
+// prunes branches that cannot beat `cap`).
+func doneDepth(adv ma.Adversary, s ma.State, budget, cap int) int {
+	if adv.Done(s) {
+		return 0
+	}
+	if budget <= 0 || cap <= 0 {
+		return budget + 1
+	}
+	best := budget + 1
+	for _, g := range adv.Choices(s) {
+		d := doneDepth(adv, adv.Step(s, g), budget-1, min(best, cap)-1) + 1
+		if d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,61 @@
+package sim
+
+// FloodMin is the classic flooding baseline: broadcast the smallest input
+// value seen so far and decide it after a fixed number of rounds. It is
+// correct exactly when the adversary guarantees that by that round the
+// minimum has stabilized at every process (e.g. strongly-connected rounds
+// with bounded dynamic diameter); under general message adversaries it
+// violates agreement — the experiments use it as the combinatorial foil to
+// the topological universal algorithm.
+type FloodMin struct {
+	// DecideRound is the round at which the process decides.
+	DecideRound int
+
+	min      int
+	round    int
+	decided  bool
+	decision int
+}
+
+var _ Process = (*FloodMin)(nil)
+
+// NewFloodMin returns a factory of FloodMin processes deciding after the
+// given round.
+func NewFloodMin(decideRound int) func() Process {
+	return func() Process { return &FloodMin{DecideRound: decideRound} }
+}
+
+// Init implements Process.
+func (f *FloodMin) Init(_, _, input int) {
+	f.min = input
+	f.round = 0
+	f.decided = f.DecideRound <= 0
+	f.decision = input
+}
+
+// Message implements Process.
+func (f *FloodMin) Message() Message { return f.min }
+
+// Deliver implements Process.
+func (f *FloodMin) Deliver(_ int, msg Message) {
+	v, ok := msg.(int)
+	if !ok {
+		panic("sim: FloodMin received a non-int message")
+	}
+	if v < f.min {
+		f.min = v
+	}
+}
+
+// EndRound implements Process: decide (irrevocably) the current minimum
+// when the decision round is reached.
+func (f *FloodMin) EndRound() {
+	f.round++
+	if !f.decided && f.round >= f.DecideRound {
+		f.decided = true
+		f.decision = f.min
+	}
+}
+
+// Decision implements Process.
+func (f *FloodMin) Decision() (int, bool) { return f.decision, f.decided }

@@ -1,0 +1,225 @@
+package topo
+
+import (
+	"topocon/internal/graph"
+	"topocon/internal/ptg"
+	"topocon/internal/uf"
+)
+
+// Component is one connected component of the horizon-t prefix space in the
+// minimum topology — equivalently, the ε-approximation PS^ε (ε = 2^-t,
+// Definition 6.2) of each of its members.
+type Component struct {
+	// Members are item indices into the space, ascending.
+	Members []int
+	// Valences lists the distinct values v for which the component
+	// contains a v-valent run, ascending.
+	Valences []int
+	// Broadcasters is the bitmask of processes p such that in every member
+	// run, every process has heard p by the horizon (Definition 5.8 at
+	// finite resolution).
+	Broadcasters uint64
+	// UniformInputs is the bitmask of processes p whose input x_p is the
+	// same across all members. Theorem 5.9 predicts
+	// Broadcasters ⊆ UniformInputs for connected components.
+	UniformInputs uint64
+}
+
+// Mixed reports whether the component contains valent runs of at least two
+// different values — the obstruction of Corollary 5.6.
+func (c *Component) Mixed() bool { return len(c.Valences) >= 2 }
+
+// Decomposition is the component structure of a space.
+type Decomposition struct {
+	Space *Space
+	// CompOf maps each item index to its component index.
+	CompOf []int
+	// Comps are the components, ordered by smallest member.
+	Comps []Component
+}
+
+// Decompose computes the connected components of the space at its horizon:
+// two runs are related iff some process has the same time-t view in both,
+// and components are the transitive closure classes. This is exactly the
+// iterated ball-union construction of Definition 6.2 restricted to the
+// horizon, because view equality at the horizon implies view equality at
+// all earlier times (refinement property, package ptg).
+func Decompose(s *Space) *Decomposition {
+	u := uf.New(len(s.Items))
+	// Bucket runs by hash-consed view ID; every bucket is a clique in the
+	// indistinguishability relation, so unioning consecutive members
+	// suffices. View IDs encode the owning process, so a single bucket
+	// table over all processes is sound.
+	buckets := make(map[ptg.ViewID]int, len(s.Items)*s.N())
+	t := s.Horizon
+	for i := range s.Items {
+		views := s.Items[i].Views
+		for p := 0; p < s.N(); p++ {
+			id := views.ID(t, p)
+			if first, ok := buckets[id]; ok {
+				u.Union(first, i)
+			} else {
+				buckets[id] = i
+			}
+		}
+	}
+	groups := u.Groups()
+	d := &Decomposition{
+		Space:  s,
+		CompOf: make([]int, len(s.Items)),
+		Comps:  make([]Component, len(groups)),
+	}
+	for ci, members := range groups {
+		for _, i := range members {
+			d.CompOf[i] = ci
+		}
+		d.Comps[ci] = summarize(s, members)
+	}
+	return d
+}
+
+func summarize(s *Space, members []int) Component {
+	n := s.N()
+	t := s.Horizon
+	full := graph.AllNodes(n)
+	c := Component{
+		Members:       members,
+		Broadcasters:  full,
+		UniformInputs: full,
+	}
+	valences := make(map[int]bool, 2)
+	first := s.Items[members[0]].Run.Inputs
+	for _, i := range members {
+		item := &s.Items[i]
+		if item.Valence >= 0 {
+			valences[item.Valence] = true
+		}
+		// A process p stays a broadcaster only if everyone heard it by t
+		// in this run.
+		c.Broadcasters &= item.Views.HeardByAll(t)
+		for p := 0; p < n; p++ {
+			if item.Run.Inputs[p] != first[p] {
+				c.UniformInputs &^= 1 << uint(p)
+			}
+		}
+	}
+	for v := range valences {
+		c.Valences = append(c.Valences, v)
+	}
+	sortInts(c.Valences)
+	return c
+}
+
+// MixedComponents returns the indices of components containing valent runs
+// of two or more values.
+func (d *Decomposition) MixedComponents() []int {
+	var out []int
+	for ci := range d.Comps {
+		if d.Comps[ci].Mixed() {
+			out = append(out, ci)
+		}
+	}
+	return out
+}
+
+// ValentComponentsBroadcastable reports whether every component containing
+// at least one valent run has a broadcaster whose input is uniform across
+// the component — the finite-resolution form of the Theorem 5.11 / 6.6
+// criterion.
+func (d *Decomposition) ValentComponentsBroadcastable() bool {
+	for ci := range d.Comps {
+		c := &d.Comps[ci]
+		if len(c.Valences) == 0 {
+			continue
+		}
+		if c.Broadcasters&c.UniformInputs == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// CrossValenceLevel returns the largest agreement level L over pairs of
+// runs lying in differently-valent regions (one in a component with
+// valence v, one with valence w ≠ v), i.e. the minimum distance between the
+// decision-relevant regions is 2^-L. It returns 0 if there are no such
+// pairs (then the second return is false).
+//
+// For compact solvable adversaries this level stays bounded as the horizon
+// grows (Fig. 4: decision sets have positive distance); for non-compact
+// adversaries it grows without bound (Fig. 5: distance-0 limits).
+func (d *Decomposition) CrossValenceLevel() (int, bool) {
+	s := d.Space
+	// Label each item with the valence set of its component; compare
+	// items whose component valences differ.
+	best := -1
+	for i := range s.Items {
+		ci := d.CompOf[i]
+		if len(d.Comps[ci].Valences) == 0 {
+			continue
+		}
+		for j := i + 1; j < len(s.Items); j++ {
+			cj := d.CompOf[j]
+			if len(d.Comps[cj].Valences) == 0 || ci == cj {
+				continue
+			}
+			if sameInts(d.Comps[ci].Valences, d.Comps[cj].Valences) {
+				continue
+			}
+			l := ptg.MinAgreeLevel(s.Items[i].Views, s.Items[j].Views)
+			if l > best {
+				best = l
+			}
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// DiameterLevel returns the diameter of component ci in exponent form:
+// the smallest agreement level over member pairs, so the diameter
+// (Definition 5.7) is 2^-level. The second return is false for singleton
+// components (diameter 0, no pairs).
+//
+// Theorem 5.9 predicts level ≥ 1 (diameter ≤ 1/2) for any connected
+// broadcastable set.
+func (d *Decomposition) DiameterLevel(ci int) (int, bool) {
+	members := d.Comps[ci].Members
+	if len(members) < 2 {
+		return 0, false
+	}
+	s := d.Space
+	worst := -1
+	for a := 0; a < len(members); a++ {
+		va := s.Items[members[a]].Views
+		for b := a + 1; b < len(members); b++ {
+			l := ptg.MinAgreeLevel(va, s.Items[members[b]].Views)
+			if worst < 0 || l < worst {
+				worst = l
+			}
+		}
+	}
+	return worst, true
+}

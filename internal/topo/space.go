@@ -1,0 +1,150 @@
+// Package topo implements the paper's topological machinery at finite
+// resolution: the space PS of admissible process-time-graph sequences
+// restricted to horizon-t prefixes, the minimum topology's
+// indistinguishability relation, the ε-approximations of Definition 6.2
+// (connected components via union-find over shared views), broadcastability
+// (Definition 5.8), and cross-component distances.
+//
+// The correspondence to the paper (see DESIGN.md §2 for proofs):
+//
+//	d_min(a,b) < 2^-t  ⇔  some process's views agree at all times 0..t
+//	                   ⇔  some process's hash-consed time-t ViewIDs coincide
+//
+// so the transitive closure of "shares a time-t view with" computes exactly
+// the 2^-t-approximation PS^ε of Definition 6.2, and its classes are the
+// connected components of the horizon-t prefix space.
+package topo
+
+import (
+	"fmt"
+
+	"topocon/internal/combi"
+	"topocon/internal/ma"
+	"topocon/internal/ptg"
+)
+
+// Item is one admissible run prefix in a Space.
+type Item struct {
+	// Run is the input assignment plus graph prefix.
+	Run ptg.Run
+	// Views holds the hash-consed views of all processes at all times.
+	Views *ptg.Views
+	// State is the adversary automaton state after the prefix.
+	State ma.State
+	// Done records whether the adversary's liveness obligations are
+	// discharged on this prefix.
+	Done bool
+	// DoneAt is the earliest round at which the obligations were
+	// discharged, or -1 while they are pending.
+	DoneAt int
+	// Valence is the common input value if the run is valent, else -1.
+	Valence int
+}
+
+// Space is the horizon-t slice of PS: every admissible run prefix for every
+// input assignment over the input domain {0, ..., InputDomain-1}.
+type Space struct {
+	Adversary   ma.Adversary
+	InputDomain int
+	Horizon     int
+	Items       []Item
+	Interner    *ptg.Interner
+
+	index map[string]int // run key -> item index
+}
+
+// DefaultMaxRuns bounds the size of constructed spaces; Build returns an
+// error beyond it so that callers fail fast instead of thrashing.
+const DefaultMaxRuns = 4_000_000
+
+// Build enumerates the horizon-t prefix space of the adversary with the
+// given input domain size (≥ 2 values for consensus to be non-trivial).
+// maxRuns ≤ 0 selects DefaultMaxRuns.
+func Build(adv ma.Adversary, inputDomain, horizon, maxRuns int) (*Space, error) {
+	return BuildWithInterner(adv, inputDomain, horizon, maxRuns, nil)
+}
+
+// BuildWithInterner is Build with a caller-supplied view interner, so that
+// views of different spaces (or of a compiled decision map) are comparable.
+// A nil interner allocates a fresh one.
+func BuildWithInterner(adv ma.Adversary, inputDomain, horizon, maxRuns int, interner *ptg.Interner) (*Space, error) {
+	if inputDomain < 1 {
+		return nil, fmt.Errorf("topo: input domain size %d < 1", inputDomain)
+	}
+	if horizon < 0 {
+		return nil, fmt.Errorf("topo: negative horizon %d", horizon)
+	}
+	if maxRuns <= 0 {
+		maxRuns = DefaultMaxRuns
+	}
+	n := adv.N()
+	inputVectors := combi.CountWords(inputDomain, n)
+	prefixes := ma.CountPrefixes(adv, horizon)
+	total := inputVectors * prefixes
+	if total > maxRuns {
+		return nil, fmt.Errorf("topo: space has %d runs, exceeding cap %d", total, maxRuns)
+	}
+	if interner == nil {
+		interner = ptg.NewInterner()
+	}
+	s := &Space{
+		Adversary:   adv,
+		InputDomain: inputDomain,
+		Horizon:     horizon,
+		Items:       make([]Item, 0, total),
+		Interner:    interner,
+		index:       make(map[string]int, total),
+	}
+	combi.Words(inputDomain, n, func(inputs []int) bool {
+		run := ptg.NewRun(inputs)
+		valence := -1
+		if v, ok := run.IsValent(); ok {
+			valence = v
+		}
+		ma.EnumeratePrefixes(adv, horizon, func(p ma.Prefix) bool {
+			r := run
+			for _, g := range p.Graphs {
+				r = r.Extend(g)
+			}
+			item := Item{
+				Run:     r,
+				Views:   ptg.ComputeViews(s.Interner, r),
+				State:   p.State,
+				Done:    p.Done,
+				DoneAt:  p.DoneAt,
+				Valence: valence,
+			}
+			s.index[r.Key()] = len(s.Items)
+			s.Items = append(s.Items, item)
+			return true
+		})
+		return true
+	})
+	return s, nil
+}
+
+// Len returns the number of runs in the space.
+func (s *Space) Len() int { return len(s.Items) }
+
+// N returns the process count.
+func (s *Space) N() int { return s.Adversary.N() }
+
+// Find returns the index of the item with the given run, or -1.
+func (s *Space) Find(r ptg.Run) int {
+	if i, ok := s.index[r.Key()]; ok {
+		return i
+	}
+	return -1
+}
+
+// ValentItems returns the indices of the v-valent runs (the z_v of the
+// paper).
+func (s *Space) ValentItems(v int) []int {
+	var out []int
+	for i := range s.Items {
+		if s.Items[i].Valence == v {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,276 @@
+// Package topocon is a computational framework for the point-set topology
+// of consensus under general message adversaries, reproducing
+//
+//	Thomas Nowak, Ulrich Schmid, Kyrill Winkler:
+//	"Topological Characterization of Consensus under General Message
+//	Adversaries", PODC 2019 (arXiv:1905.09590).
+//
+// The library makes the paper's objects executable:
+//
+//   - communication graphs and message adversaries (oblivious,
+//     eventually-stabilizing, deadline-compactified, committed-suffix,
+//     finite lasso sets, exclusion adversaries);
+//   - process-time graphs and hash-consed local views, the carriers of the
+//     process-view pseudo-metrics d_P and the minimum distance d_min;
+//   - finite-resolution prefix spaces, their connected components (the
+//     ε-approximations of Definition 6.2), broadcastability, and
+//     cross-valence distances;
+//   - the solvability checker (Theorems 6.6 and 6.7) with exact witnesses
+//     for compact adversaries and certified impossibility via automated
+//     bivalence proofs (bounded chains and alternating pumps);
+//   - the universal consensus algorithm of Theorem 5.5 compiled to a
+//     decision map, runnable by a genuine message-passing full-information
+//     protocol in the lock-step simulator;
+//   - exact infinite-run analysis on ultimately-periodic runs (Corollary
+//     5.6 for finite adversaries, fair/unfair limits of Definition 5.16).
+//
+// Quick start:
+//
+//	adv := topocon.LossyLink2()
+//	res, err := topocon.CheckConsensus(adv, topocon.CheckOptions{})
+//	// res.Verdict == topocon.VerdictSolvable, res.SeparationHorizon == 1
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record of every reproduced figure and claim.
+package topocon
+
+import (
+	"topocon/internal/baseline"
+	"topocon/internal/check"
+	"topocon/internal/graph"
+	"topocon/internal/lasso"
+	"topocon/internal/ma"
+	"topocon/internal/ptg"
+	"topocon/internal/sim"
+	"topocon/internal/topo"
+)
+
+// Graphs and parsing.
+type (
+	// Graph is a directed communication graph with mandatory self-loops.
+	Graph = graph.Graph
+	// Edge is a directed edge of a Graph.
+	Edge = graph.Edge
+)
+
+// Graph constructors.
+var (
+	// NewGraph returns the self-loop-only graph on n nodes.
+	NewGraph = graph.New
+	// ParseGraph parses "1->2, 2<->3" edge lists (1-based ids).
+	ParseGraph = graph.Parse
+	// MustParseGraph is ParseGraph for statically-known inputs.
+	MustParseGraph = graph.MustParse
+	// GraphFromEdges builds a graph from an edge list.
+	GraphFromEdges = graph.FromEdges
+	// CompleteGraph, StarGraph, CycleGraph, ChainGraph are generators.
+	CompleteGraph = graph.Complete
+	StarGraph     = graph.Star
+	CycleGraph    = graph.Cycle
+	ChainGraph    = graph.Chain
+	// EnumerateGraphs iterates all graphs on n nodes.
+	EnumerateGraphs = graph.EnumerateAll
+)
+
+// The lossy-link graphs for n = 2 in the paper's arrow notation.
+var (
+	LeftGraph    = graph.Left
+	RightGraph   = graph.Right
+	BothGraph    = graph.Both
+	NeitherGraph = graph.Neither
+)
+
+// Message adversaries.
+type (
+	// Adversary is a message adversary presented as a deterministic graph
+	// automaton; see the ma package documentation for the contract.
+	Adversary = ma.Adversary
+	// GraphWord is an ultimately-periodic graph sequence u·v^ω.
+	GraphWord = ma.GraphWord
+)
+
+// Adversary constructors.
+var (
+	// NewOblivious builds an oblivious adversary over a graph set.
+	NewOblivious = ma.NewOblivious
+	// LossyLink3 is the impossible {<-,<->,->} adversary of [21].
+	LossyLink3 = ma.LossyLink3
+	// LossyLink2 is the solvable {<-,->} adversary of [8].
+	LossyLink2 = ma.LossyLink2
+	// Unrestricted allows every graph each round.
+	Unrestricted = ma.Unrestricted
+	// NewEventuallyStable is the non-compact VSSC-style adversary.
+	NewEventuallyStable = ma.NewEventuallyStable
+	// NewDeadlineStable compactifies an eventually-stable adversary.
+	NewDeadlineStable = ma.NewDeadlineStable
+	// NewCommittedSuffix is the Fevat-Godard-style committed family.
+	NewCommittedSuffix = ma.NewCommittedSuffix
+	// NewLassoSet is the explicit finite adversary.
+	NewLassoSet = ma.NewLassoSet
+	// NewUnion is the set union of adversaries.
+	NewUnion = ma.NewUnion
+	// LossBounded loses at most f messages per round ([21, 22]).
+	LossBounded = ma.LossBounded
+	// NewExclusion removes ultimately-periodic words from a base.
+	NewExclusion = ma.NewExclusion
+	// NewGraphWord builds u·v^ω; RepeatWord builds v^ω.
+	NewGraphWord = ma.NewGraphWord
+	RepeatWord   = ma.Repeat
+	// ValidateAdversary sanity-checks an adversary implementation.
+	ValidateAdversary = ma.Validate
+)
+
+// Runs, process-time graphs and views.
+type (
+	// Run is a finite run prefix: inputs plus graph sequence.
+	Run = ptg.Run
+	// Views carries the hash-consed views of a run.
+	Views = ptg.Views
+	// Interner hash-conses causal cones.
+	Interner = ptg.Interner
+	// Cone is an explicit causal cone (for rendering and verification).
+	Cone = ptg.Cone
+)
+
+var (
+	// NewRun builds a run with the given inputs and no rounds.
+	NewRun = ptg.NewRun
+	// NewInterner returns an empty view interner.
+	NewInterner = ptg.NewInterner
+	// ComputeViews computes all views of a run.
+	ComputeViews = ptg.ComputeViews
+	// ConeOf extracts the explicit causal cone of (p, t).
+	ConeOf = ptg.ConeOf
+	// RenderPTGraph draws a process-time graph like Figure 2.
+	RenderPTGraph = ptg.Render
+	// RenderPTGraphDOT emits Graphviz DOT for a process-time graph.
+	RenderPTGraphDOT = ptg.RenderDOT
+	// AgreeLevel, MinAgreeLevel and MaxAgreeLevel expose the distance
+	// exponents of d_{p}, d_min and d_max on finite prefixes.
+	AgreeLevel    = ptg.AgreeLevel
+	MinAgreeLevel = ptg.MinAgreeLevel
+	MaxAgreeLevel = ptg.MaxAgreeLevel
+)
+
+// Topological analysis.
+type (
+	// Space is a horizon-t prefix space of an adversary.
+	Space = topo.Space
+	// Decomposition is its connected-component structure.
+	Decomposition = topo.Decomposition
+	// Component is one ε-approximation class.
+	Component = topo.Component
+)
+
+var (
+	// BuildSpace enumerates the prefix space of an adversary.
+	BuildSpace = topo.Build
+	// BuildSpaceWithInterner shares views across spaces and maps.
+	BuildSpaceWithInterner = topo.BuildWithInterner
+	// Decompose computes the ε-approximation components.
+	Decompose = topo.Decompose
+	// CrossDecisionLevel measures a fixed algorithm's decision-set
+	// separation over a space (Corollary 6.1).
+	CrossDecisionLevel = check.CrossDecisionLevel
+)
+
+// Solvability checking and the universal algorithm.
+type (
+	// CheckOptions configure CheckConsensus.
+	CheckOptions = check.Options
+	// CheckResult is the analysis outcome.
+	CheckResult = check.Result
+	// Verdict is the overall classification.
+	Verdict = check.Verdict
+	// DecisionMap is the compiled universal algorithm of Theorem 5.5.
+	DecisionMap = check.DecisionMap
+	// DecisionRule is a causally-local decision rule.
+	DecisionRule = check.Rule
+	// LocalView is the causally-local knowledge a rule inspects.
+	LocalView = check.View
+)
+
+// Verdicts.
+const (
+	VerdictSolvable   = check.VerdictSolvable
+	VerdictImpossible = check.VerdictImpossible
+	VerdictUnknown    = check.VerdictUnknown
+)
+
+var (
+	// CheckConsensus analyses solvability under an adversary.
+	CheckConsensus = check.Consensus
+	// BuildDecisionMap compiles the universal algorithm from a
+	// decomposition.
+	BuildDecisionMap = check.BuildDecisionMap
+)
+
+// Simulation.
+type (
+	// Process is a deterministic message-passing consensus process.
+	Process = sim.Process
+	// Trace is an execution record.
+	Trace = sim.Trace
+	// Violation is a consensus property breach.
+	Violation = sim.Violation
+)
+
+var (
+	// Execute runs processes over a run's graph sequence.
+	Execute = sim.Execute
+	// NewFullInfo builds full-information processes driven by a rule.
+	NewFullInfo = sim.NewFullInfo
+	// NewFloodMin builds the classic flooding baseline.
+	NewFloodMin = sim.NewFloodMin
+	// ExhaustiveSim executes all admissible runs of an adversary.
+	ExhaustiveSim = sim.Exhaustive
+	// RandomRun and RandomDoneRun sample admissible runs.
+	RandomRun     = sim.RandomRun
+	RandomDoneRun = sim.RandomDoneRun
+	// CheckProperties verifies (T),(A),(V) on a trace.
+	CheckProperties = sim.CheckConsensus
+)
+
+// Exact lasso analysis.
+type (
+	// LassoRun is an ultimately-periodic infinite run.
+	LassoRun = lasso.Run
+	// LassoAnalysis is the exact structure of a finite adversary.
+	LassoAnalysis = lasso.Analysis
+)
+
+var (
+	// NewLassoRun builds an ultimately-periodic run.
+	NewLassoRun = lasso.NewRun
+	// AgreementForever decides d_{p} = 0 exactly on lasso pairs.
+	AgreementForever = lasso.AgreementForever
+	// LassoDistanceZero decides d_min = 0 exactly.
+	LassoDistanceZero = lasso.DistanceZero
+	// LassoAgreeLevels returns exact per-process difference times.
+	LassoAgreeLevels = lasso.AgreeLevels
+	// LassoMinAgreeLevel returns the exact d_min exponent.
+	LassoMinAgreeLevel = lasso.MinAgreeLevel
+	// AnalyzeFinite applies Corollary 5.6 exactly to a finite adversary.
+	AnalyzeFinite = lasso.Analyze
+)
+
+// Combinatorial baselines.
+type (
+	// HeardSetAnalysis is the broadcast automaton result.
+	HeardSetAnalysis = baseline.HeardSetAnalysis
+	// BivalenceCertificate is a bounded-chain impossibility proof.
+	BivalenceCertificate = baseline.BivalenceCertificate
+	// PumpCertificate is a self-similar impossibility proof.
+	PumpCertificate = baseline.PumpCertificate
+)
+
+var (
+	// AnalyzeHeardSet runs the broadcast automaton for one source.
+	AnalyzeHeardSet = baseline.AnalyzeHeardSet
+	// GuaranteedBroadcasters lists processes broadcasting in every run.
+	GuaranteedBroadcasters = baseline.GuaranteedBroadcasters
+	// ProveBivalent searches bounded bivalent chain certificates.
+	ProveBivalent = baseline.ProveBivalent
+	// FindPumpCertificate searches alternating-pump certificates.
+	FindPumpCertificate = baseline.FindPumpCertificate
+)

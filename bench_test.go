@@ -6,6 +6,8 @@ package topocon_test
 // asserted so a regression cannot silently pass as a fast benchmark.
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -261,6 +263,56 @@ func BenchmarkAblationSpaceBuild(b *testing.B) {
 					sinkInt = s.Len()
 				}
 			})
+	}
+}
+
+// benchMaxHorizon is the horizon depth of the incremental-vs-scratch pair
+// below; both walk every horizon 1..benchMaxHorizon of LossyLink2 and
+// decompose each, so the only difference is how the next space is obtained.
+const benchMaxHorizon = 7
+
+// BenchmarkBuildFromScratch is the pre-session checker loop: every horizon
+// re-enumerates the exponential prefix space from the root and recomputes
+// every view.
+func BenchmarkBuildFromScratch(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for horizon := 1; horizon <= benchMaxHorizon; horizon++ {
+			s, err := topocon.BuildSpace(topocon.LossyLink2(), 2, horizon, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			d := topocon.Decompose(s)
+			sinkInt = len(d.Comps)
+		}
+	}
+}
+
+// BenchmarkAnalyzerIncremental is the session path: one Analyzer extends
+// the frontier round by round, cloning parent views and computing a single
+// new view row per run. Track the ratio to BenchmarkBuildFromScratch in the
+// perf trajectory; the redesign's acceptance floor is 2×.
+func BenchmarkAnalyzerIncremental(b *testing.B) {
+	b.ReportAllocs()
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		an, err := topocon.NewAnalyzer(topocon.LossyLink2(), topocon.WithMaxHorizon(benchMaxHorizon))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			rep, err := an.Step(ctx)
+			if errors.Is(err, topocon.ErrHorizonExhausted) {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			sinkInt = rep.Components
+		}
+		if an.Horizon() != benchMaxHorizon {
+			b.Fatalf("stopped at horizon %d", an.Horizon())
+		}
 	}
 }
 

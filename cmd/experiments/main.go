@@ -4,10 +4,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"strings"
 
 	"topocon"
@@ -16,9 +18,16 @@ import (
 	"topocon/internal/ma"
 )
 
+// ctx is the run-wide context: Ctrl-C cancels the current analysis session
+// instead of killing the process mid-table.
+var ctx context.Context
+
 func main() {
 	only := flag.String("only", "", "run only the given experiment id (e.g. E5)")
 	flag.Parse()
+	var stop context.CancelFunc
+	ctx, stop = signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	experiments := []struct {
 		id   string
 		name string
@@ -52,7 +61,11 @@ func fail(err error) {
 }
 
 func checked(adv topocon.Adversary, opts topocon.CheckOptions) *topocon.CheckResult {
-	res, err := topocon.CheckConsensus(adv, opts)
+	an, err := topocon.NewAnalyzer(adv, topocon.WithCheckOptions(opts))
+	if err != nil {
+		fail(err)
+	}
+	res, err := an.Check(ctx)
 	if err != nil {
 		fail(err)
 	}
@@ -109,17 +122,20 @@ func e2() {
 func e3() {
 	fmt.Println("| horizon | runs | components | mixed | valent comps broadcastable |")
 	fmt.Println("|---|---|---|---|---|")
-	for horizon := 1; horizon <= 5; horizon++ {
-		s, err := topocon.BuildSpace(topocon.LossyLink3(), 2, horizon, 0)
-		if err != nil {
-			fail(err)
-		}
-		d := topocon.Decompose(s)
-		fmt.Printf("| %d | %d | %d | %d | %v |\n",
-			horizon, s.Len(), len(d.Comps), len(d.MixedComponents()),
-			d.ValentComponentsBroadcastable())
+	// One incremental session produces the whole per-horizon table: each
+	// Step extends the previous horizon's space by one round.
+	an, err := topocon.NewAnalyzer(topocon.LossyLink3(), topocon.WithMaxHorizon(5),
+		topocon.WithProgress(func(r topocon.HorizonReport) {
+			fmt.Printf("| %d | %d | %d | %d | %v |\n",
+				r.Horizon, r.Runs, r.Components, r.MixedComponents, r.Broadcastable)
+		}))
+	if err != nil {
+		fail(err)
 	}
-	res := checked(topocon.LossyLink3(), topocon.CheckOptions{MaxHorizon: 5})
+	res, err := an.Check(ctx)
+	if err != nil {
+		fail(err)
+	}
 	fmt.Printf("\nverdict: **%v** (exact=%v)\ncertificate: %v\n",
 		res.Verdict, res.Exact, res.Certificate)
 }
@@ -200,14 +216,24 @@ func e6() {
 	fmt.Println()
 	fmt.Println("| horizon | min distance between decision sets |")
 	fmt.Println("|---|---|")
-	res2 := checked(topocon.LossyLink2(), topocon.CheckOptions{})
+	// Check stops at the separation horizon; the same session then keeps
+	// refining past the verdict, and every SpaceAt space shares the
+	// compiled decision map's interner by construction.
+	an2, err := topocon.NewAnalyzer(topocon.LossyLink2(), topocon.WithMaxHorizon(5))
+	if err != nil {
+		fail(err)
+	}
+	res2, err := an2.Check(ctx)
+	if err != nil {
+		fail(err)
+	}
 	for horizon := 1; horizon <= 5; horizon++ {
-		s, err := topocon.BuildSpaceWithInterner(topocon.LossyLink2(), 2, horizon, 0,
-			res2.Map.Interner())
-		if err != nil {
-			fail(err)
+		for an2.Horizon() < horizon {
+			if _, err := an2.Step(ctx); err != nil {
+				fail(err)
+			}
 		}
-		level, ok, err := topocon.CrossDecisionLevel(res2.Map, s)
+		level, ok, err := topocon.CrossDecisionLevel(res2.Map, an2.SpaceAt(horizon))
 		if err != nil || !ok {
 			fail(fmt.Errorf("no cross-decision pairs at horizon %d: %v", horizon, err))
 		}

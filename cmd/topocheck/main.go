@@ -13,9 +13,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"topocon"
@@ -30,7 +33,8 @@ func main() {
 		domain   = flag.Int("domain", 2, "input domain size")
 		window   = flag.Int("window", 1, "stability window for -preset stable")
 		deadline = flag.Int("deadline", 2, "deadline for -preset committed")
-		verbose  = flag.Bool("v", false, "print per-horizon decomposition statistics")
+		workers  = flag.Int("workers", 1, "worker-pool size for frontier expansion and decomposition")
+		verbose  = flag.Bool("v", false, "print per-horizon decomposition statistics as the session refines")
 	)
 	flag.Parse()
 
@@ -39,16 +43,39 @@ func main() {
 		fmt.Fprintln(os.Stderr, "topocheck:", err)
 		os.Exit(2)
 	}
-	if *verbose {
-		printDecompositions(adv, *domain, *horizon)
+	// Interrupting a long session (Ctrl-C) cancels the analysis cleanly at
+	// the next frontier chunk instead of killing the process mid-print.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := []topocon.AnalyzerOption{
+		topocon.WithInputDomain(*domain),
+		topocon.WithMaxHorizon(*horizon),
+		topocon.WithParallelism(*workers),
 	}
-	res, err := topocon.CheckConsensus(adv, topocon.CheckOptions{
-		InputDomain: *domain,
-		MaxHorizon:  *horizon,
-	})
+	if *verbose {
+		fmt.Println("horizon  runs  components  mixed  broadcastable    elapsed")
+		opts = append(opts, topocon.WithProgress(func(r topocon.HorizonReport) {
+			fmt.Printf("%7d  %4d  %10d  %5d  %13v  %9v\n",
+				r.Horizon, r.Runs, r.Components, r.MixedComponents, r.Broadcastable, r.Elapsed)
+		}))
+	}
+	an, err := topocon.NewAnalyzer(adv, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "topocheck:", err)
+		os.Exit(2)
+	}
+	res, err := an.Check(ctx)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "topocheck: interrupted at horizon %d\n", an.Horizon())
+			os.Exit(130)
+		}
+		fmt.Fprintln(os.Stderr, "topocheck:", err)
 		os.Exit(1)
+	}
+	if *verbose {
+		fmt.Println()
 	}
 	fmt.Print(res.Summary())
 }
@@ -92,20 +119,4 @@ func buildAdversary(preset string, n int, graphSpec string, window, deadline int
 	default:
 		return nil, fmt.Errorf("unknown preset %q", preset)
 	}
-}
-
-func printDecompositions(adv topocon.Adversary, domain, horizon int) {
-	fmt.Println("horizon  runs  components  mixed  broadcastable")
-	for t := 1; t <= horizon; t++ {
-		s, err := topocon.BuildSpace(adv, domain, t, 0)
-		if err != nil {
-			fmt.Printf("%7d  (%v)\n", t, err)
-			return
-		}
-		d := topocon.Decompose(s)
-		fmt.Printf("%7d  %4d  %10d  %5d  %v\n",
-			t, s.Len(), len(d.Comps), len(d.MixedComponents()),
-			d.ValentComponentsBroadcastable())
-	}
-	fmt.Println()
 }

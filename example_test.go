@@ -1,10 +1,33 @@
 package topocon_test
 
 import (
+	"context"
 	"fmt"
 
 	"topocon"
 )
+
+// ExampleNewAnalyzer runs a cancellable analysis session with per-horizon
+// progress reporting; the prefix space is refined incrementally instead of
+// being re-enumerated at every horizon.
+func ExampleNewAnalyzer() {
+	an, err := topocon.NewAnalyzer(topocon.LossyLink2(),
+		topocon.WithMaxHorizon(3),
+		topocon.WithProgress(func(r topocon.HorizonReport) {
+			fmt.Printf("horizon %d: %d runs, %d components\n", r.Horizon, r.Runs, r.Components)
+		}))
+	if err != nil {
+		panic(err)
+	}
+	res, err := an.Check(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Verdict, "at horizon", res.SeparationHorizon)
+	// Output:
+	// horizon 1: 8 runs, 4 components
+	// solvable at horizon 1
+}
 
 // ExampleAnalyzeFinite applies Corollary 5.6 exactly to a finite message
 // adversary given by ultimately-periodic words.

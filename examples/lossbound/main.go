@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,6 +14,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	fmt.Println("at most f messages lost per round ([21], [22]):")
 	fmt.Println()
 	for _, c := range []struct{ n, f, horizon int }{
@@ -21,7 +23,14 @@ func main() {
 		{4, 1, 2},
 	} {
 		adv := topocon.LossBounded(c.n, c.f)
-		res, err := topocon.CheckConsensus(adv, topocon.CheckOptions{MaxHorizon: c.horizon})
+		// The n=4 space grows fast; a worker pool spreads the frontier
+		// expansion, and the session is cancellable via ctx.
+		an, err := topocon.NewAnalyzer(adv,
+			topocon.WithMaxHorizon(c.horizon), topocon.WithParallelism(4))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := an.Check(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,6 +17,19 @@ func main() {
 	components()
 	impossibility()
 	fairLimit()
+}
+
+// check runs a full analysis session for adv.
+func check(adv topocon.Adversary, opts ...topocon.AnalyzerOption) *topocon.CheckResult {
+	an, err := topocon.NewAnalyzer(adv, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := an.Check(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
 }
 
 // distances computes d_{p}, d_min, d_max on a run pair (cf. Figure 3).
@@ -56,10 +70,7 @@ func components() {
 // impossibility shows the certified bivalence proof for {<-,<->,->}.
 func impossibility() {
 	fmt.Println("== impossibility of {<-,<->,->} ==")
-	res, err := topocon.CheckConsensus(topocon.LossyLink3(), topocon.CheckOptions{MaxHorizon: 5})
-	if err != nil {
-		log.Fatal(err)
-	}
+	res := check(topocon.LossyLink3(), topocon.WithMaxHorizon(5))
 	fmt.Printf("verdict: %v\n", res.Verdict)
 	fmt.Printf("mixed components persist: %d of %d at horizon %d\n",
 		res.MixedComponents, res.Components, res.Horizon)

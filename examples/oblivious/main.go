@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -15,6 +16,19 @@ import (
 func main() {
 	sweepN2()
 	structuredN3()
+}
+
+// check runs one analysis session; the sweep reuses it per adversary.
+func check(adv topocon.Adversary, horizon int) *topocon.CheckResult {
+	an, err := topocon.NewAnalyzer(adv, topocon.WithMaxHorizon(horizon))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := an.Check(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
 }
 
 func sweepN2() {
@@ -38,10 +52,7 @@ func sweepN2() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := topocon.CheckConsensus(adv, topocon.CheckOptions{MaxHorizon: 5})
-		if err != nil {
-			log.Fatal(err)
-		}
+		res := check(adv, 5)
 		cert := "-"
 		switch res.Certificate.(type) {
 		case *topocon.BivalenceCertificate:
@@ -76,10 +87,7 @@ func structuredN3() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := topocon.CheckConsensus(adv, topocon.CheckOptions{MaxHorizon: 4})
-		if err != nil {
-			log.Fatal(err)
-		}
+		res := check(adv, 4)
 		bc, worst := topocon.GuaranteedBroadcasters(adv)
 		fmt.Printf("%-16s %-10v separation=%d broadcasters=%s (worst delay %d)\n",
 			c.name, res.Verdict, res.SeparationHorizon, nodeSet(bc, 3), worst)

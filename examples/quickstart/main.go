@@ -1,8 +1,10 @@
 // Quickstart: decide solvability of the two classic lossy-link adversaries
-// and run the extracted universal algorithm through the simulator.
+// with an Analyzer session and run the extracted universal algorithm
+// through the simulator.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -10,15 +12,30 @@ import (
 )
 
 func main() {
-	// The Santoro-Widmayer adversary {<-,<->,->}: impossible.
-	res3, err := topocon.CheckConsensus(topocon.LossyLink3(), topocon.CheckOptions{})
+	ctx := context.Background()
+
+	// The Santoro-Widmayer adversary {<-,<->,->}: impossible. The session
+	// reports each horizon as the prefix space is refined incrementally.
+	an3, err := topocon.NewAnalyzer(topocon.LossyLink3(),
+		topocon.WithProgress(func(r topocon.HorizonReport) {
+			fmt.Printf("  horizon %d: %d runs, %d components (%d mixed)\n",
+				r.Horizon, r.Runs, r.Components, r.MixedComponents)
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res3, err := an3.Check(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("%s: %v\n  proof: %v\n\n", res3.AdversaryName, res3.Verdict, res3.Certificate)
 
 	// The Coulouma-Godard-Peters reduction {<-,->}: solvable in one round.
-	res2, err := topocon.CheckConsensus(topocon.LossyLink2(), topocon.CheckOptions{})
+	an2, err := topocon.NewAnalyzer(topocon.LossyLink2())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res2, err := an2.Check(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -23,6 +24,19 @@ func main() {
 	deadlines()
 }
 
+// check runs a full analysis session for adv at the given horizon.
+func check(adv topocon.Adversary, horizon int) *topocon.CheckResult {
+	an, err := topocon.NewAnalyzer(adv, topocon.WithMaxHorizon(horizon))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := an.Check(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
 func threshold() {
 	fmt.Println("== stability-window threshold (n=3, stable chain 1->2->3) ==")
 	for window := 1; window <= 3; window++ {
@@ -32,10 +46,7 @@ func threshold() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := topocon.CheckConsensus(adv, topocon.CheckOptions{MaxHorizon: 5})
-		if err != nil {
-			log.Fatal(err)
-		}
+		res := check(adv, 5)
 		fmt.Printf("window %d: %v", window, res.Verdict)
 		if res.Verdict == topocon.VerdictSolvable {
 			fmt.Printf(" (broadcaster: process %d)", res.Broadcaster+1)
@@ -53,10 +64,7 @@ func simulate() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := topocon.CheckConsensus(adv, topocon.CheckOptions{MaxHorizon: 6})
-	if err != nil {
-		log.Fatal(err)
-	}
+	res := check(adv, 6)
 	factory := topocon.NewFullInfo(res.Rule)
 	rng := rand.New(rand.NewSource(23))
 	worst := 0
@@ -90,10 +98,7 @@ func deadlines() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := topocon.CheckConsensus(adv, topocon.CheckOptions{MaxHorizon: 7})
-		if err != nil {
-			log.Fatal(err)
-		}
+		res := check(adv, 7)
 		fmt.Printf("deadline %d: %v, separation horizon %d\n",
 			deadline, res.Verdict, res.SeparationHorizon)
 	}

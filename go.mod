@@ -1,0 +1,3 @@
+module topocon
+
+go 1.24

@@ -1,10 +1,10 @@
 package check
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
-	"topocon/internal/baseline"
 	"topocon/internal/ma"
 	"topocon/internal/topo"
 )
@@ -62,7 +62,21 @@ type Options struct {
 	LatencySlack int
 }
 
-func (o Options) withDefaults() Options {
+func (o Options) withDefaults() (Options, error) {
+	// An explicitly negative budget is a configuration error, not a
+	// request for the default: report it instead of silently analysing.
+	if o.InputDomain < 0 {
+		return o, fmt.Errorf("check: negative input domain %d", o.InputDomain)
+	}
+	if o.MaxHorizon < 0 {
+		return o, fmt.Errorf("check: negative max horizon %d", o.MaxHorizon)
+	}
+	if o.MaxRuns < 0 {
+		return o, fmt.Errorf("check: negative max runs %d", o.MaxRuns)
+	}
+	if o.LatencySlack < 0 {
+		return o, fmt.Errorf("check: negative latency slack %d", o.LatencySlack)
+	}
 	if o.InputDomain == 0 {
 		o.InputDomain = 2
 	}
@@ -72,7 +86,7 @@ func (o Options) withDefaults() Options {
 	if o.LatencySlack == 0 {
 		o.LatencySlack = 2
 	}
-	return o
+	return o, nil
 }
 
 // Result is the outcome of a solvability analysis.
@@ -128,205 +142,20 @@ type Result struct {
 
 // Consensus analyses solvability of consensus under the adversary,
 // applying the compact (Theorem 6.6) or non-compact (Theorem 6.7) route.
+// It is a convenience shim over an Analyzer session run to completion with
+// a background context; use NewAnalyzer directly for cancellation,
+// progress reporting or one-horizon stepping.
 func Consensus(adv ma.Adversary, opts Options) (*Result, error) {
-	opts = opts.withDefaults()
-	if adv.Compact() {
-		return consensusCompact(adv, opts)
+	a, err := NewAnalyzer(adv, WithOptions(opts))
+	if err != nil {
+		return nil, err
 	}
-	return consensusNonCompact(adv, opts)
-}
-
-func consensusCompact(adv ma.Adversary, opts Options) (*Result, error) {
-	res := &Result{
-		AdversaryName:      adv.Name(),
-		Compact:            true,
-		SeparationHorizon:  -1,
-		BroadcastHorizon:   -1,
-		Broadcaster:        -1,
-		MaxDecisionLatency: -1,
-	}
-	for t := 1; t <= opts.MaxHorizon; t++ {
-		s, err := topo.Build(adv, opts.InputDomain, t, opts.MaxRuns)
-		if err != nil {
-			return nil, fmt.Errorf("check: horizon %d: %w", t, err)
-		}
-		d := topo.Decompose(s)
-		res.Horizon = t
-		res.MixedComponents = len(d.MixedComponents())
-		res.Components = len(d.Comps)
-		if res.SeparationHorizon < 0 && res.MixedComponents == 0 {
-			res.SeparationHorizon = t
-			res.Space = s
-			res.Decomposition = d
-			res.Map = BuildDecisionMap(d, opts.DefaultValue)
-		}
-		if res.BroadcastHorizon < 0 && d.ValentComponentsBroadcastable() {
-			res.BroadcastHorizon = t
-		}
-		if res.SeparationHorizon >= 0 && res.BroadcastHorizon >= 0 {
-			break
-		}
-	}
-	if res.SeparationHorizon >= 0 {
-		// Separation persists under refinement, so it is an exact
-		// solvability witness for a compact adversary.
-		res.Verdict = VerdictSolvable
-		res.Exact = true
-		res.Rule = &MapRule{Map: res.Map}
-		return res, nil
-	}
-	chainLen := opts.CertChainLen
-	if chainLen == 0 {
-		if adv.N() <= 2 {
-			chainLen = 5
-		} else {
-			chainLen = 3
-		}
-	}
-	if ob, ok := adv.(*ma.Oblivious); ok && chainLen > 0 {
-		// The pump search is polynomial in the graph-set size; try it
-		// first. The bounded-chain greatest fixpoint is exponential in
-		// the chain length and graph count, so it is gated on small sets.
-		if cert, found := baseline.FindPumpCertificate(ob, opts.InputDomain); found {
-			res.Verdict = VerdictImpossible
-			res.Exact = true
-			res.Certificate = cert
-			return res, nil
-		}
-		if len(ob.Graphs()) <= maxGraphsForChainSearch {
-			if cert, found := baseline.ProveBivalent(ob, opts.InputDomain, chainLen); found {
-				res.Verdict = VerdictImpossible
-				res.Exact = true
-				res.Certificate = cert
-				return res, nil
-			}
-		}
-	}
-	res.Verdict = VerdictUnknown
-	return res, nil
+	return a.Check(context.Background())
 }
 
 // maxGraphsForChainSearch bounds the bounded-chain certificate search; the
 // greatest-fixpoint DFS is exponential in the graph-set size.
 const maxGraphsForChainSearch = 10
-
-// consensusNonCompact applies Theorem 6.7: for a non-compact adversary the
-// finite-horizon components of the full prefix space stay mixed at every
-// resolution (pending prefixes carry the excluded limit sequences, Fig. 5),
-// so the compact ε-approximation route is unavailable. Instead the checker
-// looks for a designated universal broadcaster p*: a process that is heard
-// by everyone in every admissible run shortly after the adversary's
-// liveness obligation discharges. Its existence makes the partition
-// PS(v) = {x_{p*} = v} open — every process decides x_{p*} upon hearing it
-// — which is exactly how the eventually-stabilizing adversaries of [23]
-// solve consensus. Absence of such a broadcaster at the analysis horizon
-// yields VerdictUnknown together with the refuting evidence.
-func consensusNonCompact(adv ma.Adversary, opts Options) (*Result, error) {
-	res := &Result{
-		AdversaryName:      adv.Name(),
-		SeparationHorizon:  -1,
-		BroadcastHorizon:   -1,
-		Broadcaster:        -1,
-		MaxDecisionLatency: -1,
-	}
-	t := opts.MaxHorizon
-	s, err := topo.Build(adv, opts.InputDomain, t, opts.MaxRuns)
-	if err != nil {
-		return nil, fmt.Errorf("check: horizon %d: %w", t, err)
-	}
-	d := topo.Decompose(s)
-	res.Horizon = t
-	res.MixedComponents = len(d.MixedComponents())
-	res.Components = len(d.Comps)
-	res.Space = s
-	res.Decomposition = d
-
-	// A witness item is one whose obligations discharged early enough
-	// that broadcast completion is owed within the horizon. Candidate
-	// broadcasters must be heard-by-all in every witness item by
-	// DoneAt + LatencySlack.
-	n := s.N()
-	witnesses := 0
-	candidates := make([]bool, n)
-	for p := range candidates {
-		candidates[p] = true
-	}
-	for i := range s.Items {
-		item := &s.Items[i]
-		if item.DoneAt < 0 || item.DoneAt > t-opts.LatencySlack {
-			continue
-		}
-		witnesses++
-		deadline := item.DoneAt + opts.LatencySlack
-		if deadline > t {
-			deadline = t
-		}
-		heard := item.Views.HeardByAll(deadline)
-		for p := 0; p < n; p++ {
-			if candidates[p] && heard&(1<<uint(p)) == 0 {
-				candidates[p] = false
-			}
-		}
-	}
-	if witnesses == 0 {
-		res.Verdict = VerdictUnknown
-		return res, nil
-	}
-	best := -1
-	for p := 0; p < n; p++ {
-		if candidates[p] {
-			best = p
-			break
-		}
-	}
-	if best < 0 {
-		res.PendingUndecided = true
-		res.Verdict = VerdictUnknown
-		return res, nil
-	}
-	res.Broadcaster = best
-	rule := &BroadcastRule{Broadcaster: best}
-	res.Rule = rule
-
-	// Measure decision latency of the broadcast rule over Done items.
-	for i := range s.Items {
-		item := &s.Items[i]
-		if item.DoneAt < 0 || item.DoneAt > t-opts.LatencySlack {
-			continue
-		}
-		last := 0
-		for p := 0; p < n; p++ {
-			decided := false
-			for tt := 0; tt <= t; tt++ {
-				if _, ok := rule.Decide(ViewOf(item.Run, item.Views, tt, p)); ok {
-					if tt > last {
-						last = tt
-					}
-					decided = true
-					break
-				}
-			}
-			if !decided {
-				res.PendingUndecided = true
-			}
-		}
-		latency := last - item.DoneAt
-		if latency < 0 {
-			latency = 0 // decided before the obligation discharged
-		}
-		if latency > res.MaxDecisionLatency {
-			res.MaxDecisionLatency = latency
-		}
-	}
-	if res.PendingUndecided {
-		res.Verdict = VerdictUnknown
-		res.Rule = nil
-		return res, nil
-	}
-	res.Verdict = VerdictSolvable
-	res.Exact = false
-	return res, nil
-}
 
 // Summary renders a multi-line human-readable report of the result.
 func (r *Result) Summary() string {

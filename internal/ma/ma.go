@@ -32,6 +32,11 @@ type State any
 
 // Adversary is a message adversary presented as a deterministic graph
 // automaton.
+//
+// Choices, Step and Done must be safe for concurrent calls: the parallel
+// frontier expansion in internal/topo invokes them from a worker pool.
+// Pure-value state machines satisfy this for free; implementations that
+// memoize (e.g. Union) must synchronize their caches.
 type Adversary interface {
 	// N returns the number of processes.
 	N() int

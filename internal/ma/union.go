@@ -3,6 +3,7 @@ package ma
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"topocon/internal/graph"
 )
@@ -25,7 +26,10 @@ type Union struct {
 	members []Adversary
 	compact bool
 	// cache interns member-state vectors: union states are the comparable
-	// string keys, resolved back through this table.
+	// string keys, resolved back through this table. Guarded by mu — the
+	// parallel frontier expansion in internal/topo steps adversaries from
+	// several goroutines (see the Adversary contract).
+	mu    sync.RWMutex
 	cache map[string][]State
 }
 
@@ -161,9 +165,11 @@ func (u *Union) intern(values []State) State {
 		}
 	}
 	key := sb.String()
+	u.mu.Lock()
 	if _, ok := u.cache[key]; !ok {
 		u.cache[key] = values
 	}
+	u.mu.Unlock()
 	return unionState{key: key}
 }
 
@@ -172,7 +178,9 @@ func (u *Union) resolve(s State) []State {
 	if !ok {
 		panic(fmt.Sprintf("ma: foreign state %v passed to union adversary", s))
 	}
+	u.mu.RLock()
 	values, ok := u.cache[st.key]
+	u.mu.RUnlock()
 	if !ok {
 		panic(fmt.Sprintf("ma: unknown union state %q", st.key))
 	}

@@ -1,6 +1,9 @@
 package ptg
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"sync"
+)
 
 // ViewID identifies a hash-consed causal cone. Two views (possibly from
 // different runs) are equal as process-time sub-DAGs if and only if their
@@ -17,7 +20,12 @@ type ViewID int32
 // By induction on round number, equal encodings imply equal cones: the
 // unfolding of a cone determines the cone, because the in-neighbourhood of
 // every cone node within the cone appears at each of its occurrences.
+// An Interner is safe for concurrent use: the parallel frontier expansion
+// in internal/topo interns views from several workers at once. IDs are
+// assigned in insertion order, so concurrent runs may assign different IDs
+// to the same cone — only equality within one Interner is meaningful.
 type Interner struct {
+	mu    sync.Mutex
 	table map[string]ViewID
 	// stats
 	leaves int
@@ -30,7 +38,11 @@ func NewInterner() *Interner {
 }
 
 // Size returns the number of distinct views interned so far.
-func (in *Interner) Size() int { return len(in.table) }
+func (in *Interner) Size() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.table)
+}
 
 // Leaf interns the time-0 view of process p with input x.
 func (in *Interner) Leaf(p, x int) ViewID {
@@ -63,6 +75,8 @@ func (in *Interner) Node(p int, qs []int, children []ViewID) ViewID {
 }
 
 func (in *Interner) intern(key string) ViewID {
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	if id, ok := in.table[key]; ok {
 		return id
 	}

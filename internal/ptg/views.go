@@ -42,6 +42,21 @@ func ComputeViews(in *Interner, r Run) *Views {
 	return v
 }
 
+// Clone returns a Views that shares all computed rows with v but can be
+// extended independently. Rows are immutable once computed, so sharing them
+// is safe; cloning is O(Rounds) slice headers, not O(Rounds·n) views. This
+// is what makes incremental prefix-space extension cheap: every child run
+// of a horizon-t prefix clones the parent's views and computes only the one
+// new row.
+func (v *Views) Clone() *Views {
+	return &Views{
+		interner: v.interner,
+		n:        v.n,
+		ids:      append(make([][]ViewID, 0, len(v.ids)+1), v.ids...),
+		heard:    append(make([][]uint64, 0, len(v.heard)+1), v.heard...),
+	}
+}
+
 // N returns the number of processes.
 func (v *Views) N() int { return v.n }
 

@@ -1,6 +1,9 @@
 package topo
 
 import (
+	"context"
+	"sync"
+
 	"topocon/internal/graph"
 	"topocon/internal/ptg"
 	"topocon/internal/uf"
@@ -45,21 +48,90 @@ type Decomposition struct {
 // horizon, because view equality at the horizon implies view equality at
 // all earlier times (refinement property, package ptg).
 func Decompose(s *Space) *Decomposition {
+	d, err := DecomposeCtx(context.Background(), s)
+	if err != nil {
+		// Unreachable: the background context never cancels and the
+		// decomposition has no other failure mode.
+		panic(err)
+	}
+	return d
+}
+
+// DecomposeCtx is Decompose under a context: it returns ctx.Err() on
+// cancellation, and spreads the view-bucket scan and the per-component
+// summaries over the space's worker pool when its parallelism is > 1. The
+// resulting partition is identical to the sequential one: workers scan
+// disjoint item ranges into local bucket tables (recording in-range unions
+// as edges, since the union-find is not concurrency-safe), and a
+// sequential merge closes the relation across ranges — the transitive
+// closure does not depend on the order unions are applied.
+func DecomposeCtx(ctx context.Context, s *Space) (*Decomposition, error) {
 	u := uf.New(len(s.Items))
 	// Bucket runs by hash-consed view ID; every bucket is a clique in the
-	// indistinguishability relation, so unioning consecutive members
-	// suffices. View IDs encode the owning process, so a single bucket
-	// table over all processes is sound.
-	buckets := make(map[ptg.ViewID]int, len(s.Items)*s.N())
+	// indistinguishability relation, so unioning each member to the
+	// bucket's first suffices. View IDs encode the owning process, so a
+	// single bucket table over all processes is sound.
 	t := s.Horizon
-	for i := range s.Items {
-		views := s.Items[i].Views
-		for p := 0; p < s.N(); p++ {
-			id := views.ID(t, p)
-			if first, ok := buckets[id]; ok {
-				u.Union(first, i)
-			} else {
-				buckets[id] = i
+	if s.parallelism <= 1 {
+		// Sequential fast path: one bucket table, unions applied inline.
+		buckets := make(map[ptg.ViewID]int, len(s.Items)*s.N())
+		for i := range s.Items {
+			if i%cancelCheckInterval == 0 && ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			views := s.Items[i].Views
+			for p := 0; p < s.N(); p++ {
+				id := views.ID(t, p)
+				if first, ok := buckets[id]; ok {
+					u.Union(first, i)
+				} else {
+					buckets[id] = i
+				}
+			}
+		}
+	} else {
+		type scan struct {
+			reps  map[ptg.ViewID]int // view id -> first in-range item
+			edges [][2]int           // in-range (first, later) pairs sharing a view
+		}
+		var (
+			scans   []scan
+			scansMu sync.Mutex
+		)
+		err := forEachChunk(ctx, len(s.Items), s.parallelism, func(lo, hi int) error {
+			sc := scan{reps: make(map[ptg.ViewID]int, (hi-lo)*s.N())}
+			for i := lo; i < hi; i++ {
+				views := s.Items[i].Views
+				for p := 0; p < s.N(); p++ {
+					id := views.ID(t, p)
+					if first, ok := sc.reps[id]; ok {
+						if first != i {
+							sc.edges = append(sc.edges, [2]int{first, i})
+						}
+					} else {
+						sc.reps[id] = i
+					}
+				}
+			}
+			scansMu.Lock()
+			scans = append(scans, sc)
+			scansMu.Unlock()
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		global := make(map[ptg.ViewID]int, len(s.Items)*s.N())
+		for _, sc := range scans {
+			for _, e := range sc.edges {
+				u.Union(e[0], e[1])
+			}
+			for id, rep := range sc.reps {
+				if g, ok := global[id]; ok {
+					u.Union(g, rep)
+				} else {
+					global[id] = rep
+				}
 			}
 		}
 	}
@@ -73,9 +145,16 @@ func Decompose(s *Space) *Decomposition {
 		for _, i := range members {
 			d.CompOf[i] = ci
 		}
-		d.Comps[ci] = summarize(s, members)
 	}
-	return d
+	if err := forEachChunk(ctx, len(groups), s.parallelism, func(lo, hi int) error {
+		for ci := lo; ci < hi; ci++ {
+			d.Comps[ci] = summarize(s, groups[ci])
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return d, nil
 }
 
 func summarize(s *Space, members []int) Component {

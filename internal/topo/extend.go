@@ -1,0 +1,100 @@
+package topo
+
+import (
+	"context"
+	"fmt"
+)
+
+// Extend returns the prefix space at the given (strictly larger) horizon by
+// extending this space's runs round by round, instead of re-enumerating the
+// exponential space from the root. Each round reuses
+//
+//   - the horizon-t items: a child run clones its parent's hash-consed
+//     views (O(1) per computed row) and computes only the one new row;
+//   - the adversary automaton states: children step the parent's stored
+//     state, so prefix admissibility is never re-derived;
+//   - the shared Interner, keeping views comparable across all horizons.
+//
+// The receiver is not modified and stays valid, so iterative-deepening
+// callers can retain every horizon they visited. The child space inherits
+// the receiver's size cap and parallelism (frontier expansion is spread
+// over a worker pool when parallelism > 1).
+//
+// Extend produces items in exactly the order BuildCtx would: children of
+// one parent appear in Choices order, parents in their own item order —
+// which is the depth-first prefix enumeration order at the deeper horizon.
+// The incremental-extension invariant (asserted by TestExtendMatchesBuild)
+// is that Build(adv, d, t) and Build(adv, d, 0).Extend(ctx, t) agree item
+// by item on runs, automaton states, obligations and view structure.
+func (s *Space) Extend(ctx context.Context, horizon int) (*Space, error) {
+	if horizon <= s.Horizon {
+		return nil, fmt.Errorf("topo: Extend to horizon %d from %d (must grow)", horizon, s.Horizon)
+	}
+	cur := s
+	for cur.Horizon < horizon {
+		next, err := cur.extendOne(ctx)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// extendOne builds the horizon+1 space from s.
+func (s *Space) extendOne(ctx context.Context) (*Space, error) {
+	adv := s.Adversary
+	// Lay out child slots with a prefix sum over per-parent branching, so
+	// workers write disjoint, deterministic ranges.
+	offsets := make([]int, len(s.Items)+1)
+	for i := range s.Items {
+		offsets[i+1] = offsets[i] + len(adv.Choices(s.Items[i].State))
+	}
+	total := offsets[len(s.Items)]
+	if total > s.maxRuns {
+		return nil, fmt.Errorf("topo: space has %d runs, exceeding cap %d", total, s.maxRuns)
+	}
+	next := &Space{
+		Adversary:   adv,
+		InputDomain: s.InputDomain,
+		Horizon:     s.Horizon + 1,
+		Items:       make([]Item, total),
+		Interner:    s.Interner,
+		maxRuns:     s.maxRuns,
+		parallelism: s.parallelism,
+	}
+	err := forEachChunk(ctx, len(s.Items), s.parallelism, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			parent := &s.Items[i]
+			for j, g := range adv.Choices(parent.State) {
+				views := parent.Views.Clone()
+				views.Extend(g)
+				state := adv.Step(parent.State, g)
+				doneAt := parent.DoneAt
+				if doneAt < 0 && adv.Done(state) {
+					doneAt = next.Horizon
+				}
+				next.Items[offsets[i]+j] = Item{
+					Run:     parent.Run.Extend(g),
+					Views:   views,
+					State:   state,
+					Done:    doneAt >= 0,
+					DoneAt:  doneAt,
+					Valence: parent.Valence,
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return next, nil
+}
+
+// SetParallelism sets the worker count used by Extend and DecomposeCtx on
+// this space and its descendants; w ≤ 1 selects sequential operation.
+func (s *Space) SetParallelism(w int) { s.parallelism = w }
+
+// Parallelism returns the configured worker count.
+func (s *Space) Parallelism() int { return s.parallelism }

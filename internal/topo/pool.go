@@ -1,0 +1,79 @@
+package topo
+
+import (
+	"context"
+	"sync"
+)
+
+// minChunk is the smallest per-worker slice worth the goroutine overhead;
+// below workers*minChunk elements the pool degenerates to a sequential loop.
+const minChunk = 64
+
+// forEachChunk partitions [0, n) into contiguous chunks and applies fn to
+// each, using up to `workers` goroutines. fn must be safe to call
+// concurrently on disjoint ranges. The first error wins; cancellation of
+// ctx stops the remaining chunks and returns ctx.Err().
+func forEachChunk(ctx context.Context, n, workers int, fn func(lo, hi int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers <= 1 || n < 2*minChunk {
+		return forEachChunkSeq(ctx, n, fn)
+	}
+	chunk := (n + workers - 1) / workers
+	if chunk < minChunk {
+		chunk = minChunk
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	setErr := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			if ctx.Err() != nil {
+				setErr(ctx.Err())
+				return
+			}
+			if err := fn(lo, hi); err != nil {
+				setErr(err)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// forEachChunkSeq is the sequential fallback, still chunked so that the
+// context is polled between batches rather than per element.
+func forEachChunkSeq(ctx context.Context, n int, fn func(lo, hi int) error) error {
+	for lo := 0; lo < n; lo += minChunk {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		hi := lo + minChunk
+		if hi > n {
+			hi = n
+		}
+		if err := fn(lo, hi); err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
+}

@@ -16,7 +16,9 @@
 package topo
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"topocon/internal/combi"
 	"topocon/internal/ma"
@@ -50,30 +52,57 @@ type Space struct {
 	Items       []Item
 	Interner    *ptg.Interner
 
-	index map[string]int // run key -> item index
+	indexOnce sync.Once
+	index     map[string]int // run key -> item index, built lazily by Find
+
+	maxRuns     int // size cap inherited by Extend
+	parallelism int // worker count inherited by Extend / DecomposeCtx
 }
 
 // DefaultMaxRuns bounds the size of constructed spaces; Build returns an
 // error beyond it so that callers fail fast instead of thrashing.
 const DefaultMaxRuns = 4_000_000
 
+// Config collects the optional knobs of BuildCtx. The zero value selects
+// the defaults: DefaultMaxRuns, a fresh interner, sequential construction.
+type Config struct {
+	// MaxRuns caps the space size; ≤ 0 selects DefaultMaxRuns.
+	MaxRuns int
+	// Parallelism is the worker count used by Extend and DecomposeCtx on
+	// spaces derived from this build; ≤ 1 means sequential.
+	Parallelism int
+	// Interner shares hash-consed views with other spaces or a compiled
+	// decision map; nil allocates a fresh one.
+	Interner *ptg.Interner
+}
+
 // Build enumerates the horizon-t prefix space of the adversary with the
 // given input domain size (≥ 2 values for consensus to be non-trivial).
 // maxRuns ≤ 0 selects DefaultMaxRuns.
 func Build(adv ma.Adversary, inputDomain, horizon, maxRuns int) (*Space, error) {
-	return BuildWithInterner(adv, inputDomain, horizon, maxRuns, nil)
+	return BuildCtx(context.Background(), adv, inputDomain, horizon, Config{MaxRuns: maxRuns})
 }
 
 // BuildWithInterner is Build with a caller-supplied view interner, so that
 // views of different spaces (or of a compiled decision map) are comparable.
 // A nil interner allocates a fresh one.
 func BuildWithInterner(adv ma.Adversary, inputDomain, horizon, maxRuns int, interner *ptg.Interner) (*Space, error) {
+	return BuildCtx(context.Background(), adv, inputDomain, horizon,
+		Config{MaxRuns: maxRuns, Interner: interner})
+}
+
+// BuildCtx enumerates the horizon-t prefix space under a context: the
+// enumeration stops at cancellation and returns ctx.Err(). For iterative
+// deepening build the horizon-0 space once and grow it with Extend, which
+// reuses the horizon-t items instead of re-enumerating from the root.
+func BuildCtx(ctx context.Context, adv ma.Adversary, inputDomain, horizon int, cfg Config) (*Space, error) {
 	if inputDomain < 1 {
 		return nil, fmt.Errorf("topo: input domain size %d < 1", inputDomain)
 	}
 	if horizon < 0 {
 		return nil, fmt.Errorf("topo: negative horizon %d", horizon)
 	}
+	maxRuns := cfg.MaxRuns
 	if maxRuns <= 0 {
 		maxRuns = DefaultMaxRuns
 	}
@@ -84,6 +113,7 @@ func BuildWithInterner(adv ma.Adversary, inputDomain, horizon, maxRuns int, inte
 	if total > maxRuns {
 		return nil, fmt.Errorf("topo: space has %d runs, exceeding cap %d", total, maxRuns)
 	}
+	interner := cfg.Interner
 	if interner == nil {
 		interner = ptg.NewInterner()
 	}
@@ -93,8 +123,10 @@ func BuildWithInterner(adv ma.Adversary, inputDomain, horizon, maxRuns int, inte
 		Horizon:     horizon,
 		Items:       make([]Item, 0, total),
 		Interner:    interner,
-		index:       make(map[string]int, total),
+		maxRuns:     maxRuns,
+		parallelism: cfg.Parallelism,
 	}
+	var cancelled bool
 	combi.Words(inputDomain, n, func(inputs []int) bool {
 		run := ptg.NewRun(inputs)
 		valence := -1
@@ -102,26 +134,38 @@ func BuildWithInterner(adv ma.Adversary, inputDomain, horizon, maxRuns int, inte
 			valence = v
 		}
 		ma.EnumeratePrefixes(adv, horizon, func(p ma.Prefix) bool {
+			// Poll cancellation inside the prefix walk too: a single input
+			// vector can carry an exponential enumeration.
+			if len(s.Items)%cancelCheckInterval == 0 && ctx.Err() != nil {
+				cancelled = true
+				return false
+			}
 			r := run
 			for _, g := range p.Graphs {
 				r = r.Extend(g)
 			}
-			item := Item{
+			s.Items = append(s.Items, Item{
 				Run:     r,
 				Views:   ptg.ComputeViews(s.Interner, r),
 				State:   p.State,
 				Done:    p.Done,
 				DoneAt:  p.DoneAt,
 				Valence: valence,
-			}
-			s.index[r.Key()] = len(s.Items)
-			s.Items = append(s.Items, item)
+			})
 			return true
 		})
-		return true
+		return !cancelled
 	})
+	if cancelled {
+		return nil, ctx.Err()
+	}
 	return s, nil
 }
+
+// cancelCheckInterval is how many items may be appended between context
+// polls during enumeration; small enough for sub-millisecond cancellation
+// latency, large enough to keep the poll off the profile.
+const cancelCheckInterval = 256
 
 // Len returns the number of runs in the space.
 func (s *Space) Len() int { return len(s.Items) }
@@ -129,8 +173,18 @@ func (s *Space) Len() int { return len(s.Items) }
 // N returns the process count.
 func (s *Space) N() int { return s.Adversary.N() }
 
-// Find returns the index of the item with the given run, or -1.
+// Find returns the index of the item with the given run, or -1. The lookup
+// index is built on first use (concurrent Finds are safe), keeping space
+// construction and extension — the checker's hot path, which never calls
+// Find — free of run-key serialization.
 func (s *Space) Find(r ptg.Run) int {
+	s.indexOnce.Do(func() {
+		index := make(map[string]int, len(s.Items))
+		for i := range s.Items {
+			index[s.Items[i].Run.Key()] = i
+		}
+		s.index = index
+	})
 	if i, ok := s.index[r.Key()]; ok {
 		return i
 	}

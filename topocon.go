@@ -30,6 +30,19 @@
 //	res, err := topocon.CheckConsensus(adv, topocon.CheckOptions{})
 //	// res.Verdict == topocon.VerdictSolvable, res.SeparationHorizon == 1
 //
+// For long-running analyses, use an Analyzer session: it refines the
+// prefix space one horizon at a time — reusing the previous horizon's
+// items instead of re-enumerating the exponential space — and supports
+// cancellation, progress reporting and manual stepping:
+//
+//	an, err := topocon.NewAnalyzer(adv,
+//	    topocon.WithMaxHorizon(9),
+//	    topocon.WithParallelism(8),
+//	    topocon.WithProgress(func(r topocon.HorizonReport) {
+//	        log.Printf("horizon %d: %d runs, %d components", r.Horizon, r.Runs, r.Components)
+//	    }))
+//	res, err := an.Check(ctx)
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record of every reproduced figure and claim.
 package topocon
@@ -162,13 +175,21 @@ type (
 	Component = topo.Component
 )
 
+// SpaceConfig collects the optional knobs of BuildSpaceCtx.
+type SpaceConfig = topo.Config
+
 var (
 	// BuildSpace enumerates the prefix space of an adversary.
 	BuildSpace = topo.Build
 	// BuildSpaceWithInterner shares views across spaces and maps.
 	BuildSpaceWithInterner = topo.BuildWithInterner
+	// BuildSpaceCtx enumerates a prefix space under a context; grow the
+	// result one round at a time with Space.Extend instead of rebuilding.
+	BuildSpaceCtx = topo.BuildCtx
 	// Decompose computes the ε-approximation components.
 	Decompose = topo.Decompose
+	// DecomposeCtx is Decompose with cancellation and worker-pool support.
+	DecomposeCtx = topo.DecomposeCtx
 	// CrossDecisionLevel measures a fixed algorithm's decision-set
 	// separation over a space (Corollary 6.1).
 	CrossDecisionLevel = check.CrossDecisionLevel
@@ -176,6 +197,15 @@ var (
 
 // Solvability checking and the universal algorithm.
 type (
+	// Analyzer is a stateful solvability-analysis session: it refines the
+	// adversary's prefix space one horizon at a time (incrementally, via
+	// Space.Extend) and supports cancellation, progress reporting and
+	// manual stepping. Construct with NewAnalyzer and the With* options.
+	Analyzer = check.Analyzer
+	// AnalyzerOption configures an Analyzer at construction.
+	AnalyzerOption = check.AnalyzerOption
+	// HorizonReport describes one analysed horizon; see WithProgress.
+	HorizonReport = check.HorizonReport
 	// CheckOptions configure CheckConsensus.
 	CheckOptions = check.Options
 	// CheckResult is the analysis outcome.
@@ -189,6 +219,34 @@ type (
 	// LocalView is the causally-local knowledge a rule inspects.
 	LocalView = check.View
 )
+
+// Analysis sessions.
+var (
+	// NewAnalyzer creates an analysis session for an adversary.
+	NewAnalyzer = check.NewAnalyzer
+	// WithInputDomain sets the number of input values (default 2).
+	WithInputDomain = check.WithInputDomain
+	// WithMaxHorizon bounds the prefix horizons analysed (default 7).
+	WithMaxHorizon = check.WithMaxHorizon
+	// WithMaxRuns bounds the prefix-space size.
+	WithMaxRuns = check.WithMaxRuns
+	// WithDefaultValue sets the fallback component decision value.
+	WithDefaultValue = check.WithDefaultValue
+	// WithCertChainLen bounds the bivalence-certificate search.
+	WithCertChainLen = check.WithCertChainLen
+	// WithLatencySlack sets the non-compact decision-latency budget.
+	WithLatencySlack = check.WithLatencySlack
+	// WithParallelism spreads frontier expansion and decomposition over a
+	// worker pool.
+	WithParallelism = check.WithParallelism
+	// WithProgress registers a per-horizon progress callback.
+	WithProgress = check.WithProgress
+	// WithCheckOptions bulk-applies a CheckOptions struct.
+	WithCheckOptions = check.WithOptions
+)
+
+// ErrHorizonExhausted is returned by Analyzer.Step past MaxHorizon.
+var ErrHorizonExhausted = check.ErrHorizonExhausted
 
 // Verdicts.
 const (

@@ -10,6 +10,9 @@
 //	topocheck -preset stable -n 2 -window 2 -horizon 6
 //	topocheck -preset committed -deadline 3
 //	topocheck -n 3 -graphs "1->2,2->3,3->1 | 1<->2,1<->3,2<->3"
+//	topocheck -scenario scenarios/lossylink-rooted.json
+//	topocheck -scenario scenarios/chaos-then-stable.json -validate
+//	topocheck -list
 package main
 
 import (
@@ -26,7 +29,10 @@ import (
 
 func main() {
 	var (
-		preset   = flag.String("preset", "", "adversary preset: lossy2, lossy3, unrestricted, stable, committed")
+		preset   = flag.String("preset", "", "adversary preset: lossy2, lossy3, unrestricted, stable, committed — or a built-in scenario name (see -list)")
+		scen     = flag.String("scenario", "", "declarative scenario file (JSON); its check options apply unless overridden by explicit flags")
+		list     = flag.Bool("list", false, "list the built-in scenarios and exit")
+		validate = flag.Bool("validate", false, "with -scenario or -preset: build the adversary, check the automaton contract and print the fingerprint instead of analysing")
 		n        = flag.Int("n", 2, "number of processes")
 		graphs   = flag.String("graphs", "", "oblivious graph set, '|'-separated edge lists (1-based ids)")
 		horizon  = flag.Int("horizon", 5, "maximum analysis horizon")
@@ -38,29 +44,40 @@ func main() {
 	)
 	flag.Parse()
 
-	adv, err := buildAdversary(*preset, *n, *graphs, *window, *deadline)
+	if *list {
+		listScenarios()
+		return
+	}
+
+	adv, opts, err := resolveWorkload(*scen, *preset, *n, *graphs, *window, *deadline, *horizon, *domain)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "topocheck:", err)
 		os.Exit(2)
+	}
+	if *validate {
+		if err := validateWorkload(adv, opts.MaxHorizon); err != nil {
+			fmt.Fprintln(os.Stderr, "topocheck:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	// Interrupting a long session (Ctrl-C) cancels the analysis cleanly at
 	// the next frontier chunk instead of killing the process mid-print.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	opts := []topocon.AnalyzerOption{
-		topocon.WithInputDomain(*domain),
-		topocon.WithMaxHorizon(*horizon),
+	anOpts := []topocon.AnalyzerOption{
+		topocon.WithCheckOptions(opts),
 		topocon.WithParallelism(*workers),
 	}
 	if *verbose {
 		fmt.Println("horizon  runs  components  mixed  broadcastable    elapsed")
-		opts = append(opts, topocon.WithProgress(func(r topocon.HorizonReport) {
+		anOpts = append(anOpts, topocon.WithProgress(func(r topocon.HorizonReport) {
 			fmt.Printf("%7d  %4d  %10d  %5d  %13v  %9v\n",
 				r.Horizon, r.Runs, r.Components, r.MixedComponents, r.Broadcastable, r.Elapsed)
 		}))
 	}
-	an, err := topocon.NewAnalyzer(adv, opts...)
+	an, err := topocon.NewAnalyzer(adv, anOpts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "topocheck:", err)
 		os.Exit(2)
@@ -78,6 +95,73 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Print(res.Summary())
+}
+
+// resolveWorkload produces the adversary and checker options from either a
+// scenario file, a built-in scenario name, or the classic preset/graph
+// flags. Scenario check options are the base; explicit -horizon and
+// -domain flags override them.
+func resolveWorkload(scenPath, preset string, n int, graphSpec string, window, deadline, horizon, domain int) (topocon.Adversary, topocon.CheckOptions, error) {
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	var sc *topocon.Scenario
+	switch {
+	case scenPath != "":
+		var err error
+		sc, err = topocon.LoadScenario(scenPath)
+		if err != nil {
+			return nil, topocon.CheckOptions{}, err
+		}
+	case preset != "":
+		if builtin, ok := topocon.LookupScenario(preset); ok {
+			sc = builtin
+		}
+	}
+	if sc != nil {
+		opts := sc.Options
+		if explicit["horizon"] {
+			opts.MaxHorizon = horizon
+		}
+		if explicit["domain"] {
+			opts.InputDomain = domain
+		}
+		return sc.Adversary, opts, nil
+	}
+
+	adv, err := buildAdversary(preset, n, graphSpec, window, deadline)
+	if err != nil {
+		return nil, topocon.CheckOptions{}, err
+	}
+	return adv, topocon.CheckOptions{MaxHorizon: horizon, InputDomain: domain}, nil
+}
+
+// validateWorkload is the CI entry point behind -validate: it checks the
+// adversary automaton contract to the analysis horizon and prints the
+// behavioural fingerprint.
+func validateWorkload(adv topocon.Adversary, horizon int) error {
+	depth := horizon
+	if depth <= 0 {
+		depth = 5
+	}
+	if err := topocon.ValidateAdversary(adv, depth); err != nil {
+		return err
+	}
+	fmt.Printf("ok        %s\nfingerprint(depth=%d): %s\n", adv.Name(), depth, topocon.Fingerprint(adv, depth))
+	return nil
+}
+
+func listScenarios() {
+	scenarios, err := topocon.ScenarioRegistry()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topocheck:", err)
+		os.Exit(1)
+	}
+	fmt.Println("built-in scenarios (run with -preset <name>; files via -scenario <path>):")
+	fmt.Println()
+	for _, s := range scenarios {
+		fmt.Printf("  %-22s %s\n", s.Name, s.Description)
+	}
 }
 
 func buildAdversary(preset string, n int, graphSpec string, window, deadline int) (topocon.Adversary, error) {
@@ -104,7 +188,7 @@ func buildAdversary(preset string, n int, graphSpec string, window, deadline int
 			[]topocon.Graph{topocon.LeftGraph, topocon.RightGraph}, deadline)
 	case "":
 		if graphSpec == "" {
-			return nil, fmt.Errorf("provide -preset or -graphs")
+			return nil, fmt.Errorf("provide -preset, -graphs or -scenario")
 		}
 		parts := strings.Split(graphSpec, "|")
 		set := make([]topocon.Graph, 0, len(parts))
@@ -117,6 +201,6 @@ func buildAdversary(preset string, n int, graphSpec string, window, deadline int
 		}
 		return topocon.NewOblivious("", set)
 	default:
-		return nil, fmt.Errorf("unknown preset %q", preset)
+		return nil, fmt.Errorf("unknown preset %q (not a flag preset and not a built-in scenario; see -list)", preset)
 	}
 }

@@ -44,6 +44,35 @@ func TestBuildAdversaryPresets(t *testing.T) {
 	}
 }
 
+func TestResolveWorkloadScenario(t *testing.T) {
+	// A built-in scenario name used as -preset resolves through the
+	// registry and carries the spec's options.
+	adv, opts, err := resolveWorkload("", "stable-w2", 2, "", 1, 2, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Compact() {
+		t.Error("stable-w2 must resolve to the non-compact eventually-stable adversary")
+	}
+	if opts.MaxHorizon != 5 {
+		t.Errorf("MaxHorizon = %d, want the spec's 5", opts.MaxHorizon)
+	}
+	// Classic presets that are not scenario names keep working.
+	if _, _, err := resolveWorkload("", "stable", 2, "", 1, 2, 5, 2); err != nil {
+		t.Fatal(err)
+	}
+	// A missing scenario file is a resolution error.
+	if _, _, err := resolveWorkload("/no/such/scenario.json", "", 2, "", 1, 2, 5, 2); err == nil {
+		t.Error("missing scenario file: want error")
+	}
+}
+
+func TestValidateWorkload(t *testing.T) {
+	if err := validateWorkload(topocon.LossyLink2(), 4); err != nil {
+		t.Errorf("validateWorkload(lossy2) = %v", err)
+	}
+}
+
 func TestSummaryRendering(t *testing.T) {
 	res, err := topocon.CheckConsensus(topocon.LossyLink3(), topocon.CheckOptions{MaxHorizon: 4})
 	if err != nil {

@@ -55,22 +55,18 @@ func NewCommittedSuffix(name string, free, commit []graph.Graph, deadline int) (
 		}
 	}
 	c := &CommittedSuffix{
-		n:        n,
-		name:     name,
-		free:     append([]graph.Graph(nil), free...),
-		commit:   append([]graph.Graph(nil), commit...),
+		n:    n,
+		name: name,
+		free: append([]graph.Graph(nil), free...),
+		// The commitment set is served verbatim as the choice set at the
+		// deadline, so it must be duplicate-free like every choice set.
+		commit:   dedupGraphs(commit),
 		deadline: deadline,
 	}
 	if c.name == "" {
 		c.name = fmt.Sprintf("committed-suffix(deadline=%d)", deadline)
 	}
-	seen := make(map[string]bool, len(free)+len(commit))
-	for _, g := range append(append([]graph.Graph(nil), free...), commit...) {
-		if k := g.Key(); !seen[k] {
-			seen[k] = true
-			c.all = append(c.all, g)
-		}
-	}
+	c.all = dedupGraphs(append(append([]graph.Graph(nil), free...), commit...))
 	return c, nil
 }
 

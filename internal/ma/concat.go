@@ -1,0 +1,122 @@
+package ma
+
+import (
+	"fmt"
+
+	"topocon/internal/graph"
+)
+
+// Concat is the round-sequencing combinator: play the first adversary for
+// exactly k rounds, then switch to the second forever. Its admissible
+// sequences are u·w where u is any admissible k-round prefix of the first
+// operand and w is admissible under the second.
+//
+// Concat generalizes the committed-suffix family: where CommittedSuffix
+// forces a *constant* suffix, Concat splices in the full language of an
+// arbitrary adversary — "k rounds of chaos, then the reduced lossy link"
+// is a Concat but no pre-algebra constructor.
+type Concat struct {
+	name string
+	n    int
+	a    Adversary
+	k    int
+	b    Adversary
+}
+
+var _ Adversary = (*Concat)(nil)
+
+// concatState is the sequencing automaton state: during the first k rounds
+// it carries the first operand's state and the number of rounds played;
+// afterwards it carries the second operand's state.
+type concatState struct {
+	inA   bool
+	round int // rounds played so far; meaningful only while inA
+	s     State
+}
+
+// NewConcat builds the sequencing a·(k rounds)·b. The operands must agree
+// on the node count and k must be non-negative; Concat(a, 0, b) is
+// prefix-equivalent to b.
+func NewConcat(name string, a Adversary, k int, b Adversary) (*Concat, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("ma: concat round count %d < 0", k)
+	}
+	if a.N() != b.N() {
+		return nil, fmt.Errorf("ma: concat operands have node counts %d and %d", a.N(), b.N())
+	}
+	if name == "" {
+		name = fmt.Sprintf("%s ·%d· %s", a.Name(), k, b.Name())
+	}
+	return &Concat{name: name, n: a.N(), a: a, k: k, b: b}, nil
+}
+
+// MustConcat is NewConcat for statically-known operands.
+func MustConcat(name string, a Adversary, k int, b Adversary) *Concat {
+	c, err := NewConcat(name, a, k, b)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Rounds returns the number of rounds played by the first operand.
+func (c *Concat) Rounds() int { return c.k }
+
+// Operands returns the two sequenced adversaries.
+func (c *Concat) Operands() (Adversary, Adversary) { return c.a, c.b }
+
+// N implements Adversary.
+func (c *Concat) N() int { return c.n }
+
+// Name implements Adversary.
+func (c *Concat) Name() string { return c.name }
+
+// Compact implements Adversary: the language is a finite union of
+// u-cylinders over the second operand's language, which is closed iff that
+// language is. The first operand contributes only finite prefixes, so its
+// compactness is irrelevant.
+func (c *Concat) Compact() bool { return c.b.Compact() }
+
+// Start implements Adversary.
+func (c *Concat) Start() State {
+	if c.k == 0 {
+		return concatState{inA: false, s: c.b.Start()}
+	}
+	return concatState{inA: true, round: 0, s: c.a.Start()}
+}
+
+// Choices implements Adversary.
+func (c *Concat) Choices(s State) []graph.Graph {
+	st := s.(concatState)
+	if st.inA {
+		return c.a.Choices(st.s)
+	}
+	return c.b.Choices(st.s)
+}
+
+// Step implements Adversary: the k-th step of the first phase hands over to
+// the second operand's start state.
+func (c *Concat) Step(s State, g graph.Graph) State {
+	st := s.(concatState)
+	if !st.inA {
+		return concatState{inA: false, s: c.b.Step(st.s, g)}
+	}
+	if st.round+1 >= c.k {
+		return concatState{inA: false, s: c.b.Start()}
+	}
+	return concatState{inA: true, round: st.round + 1, s: c.a.Step(st.s, g)}
+}
+
+// Done implements Adversary. The first operand plays only finitely many
+// rounds, so its liveness obligations never bind; the concatenation's
+// obligations are the second operand's. During the first phase they are
+// discharged exactly when the second operand is compact (its admissibility
+// is then pure safety); afterwards Done follows the second operand, whose
+// Done is absorbing.
+func (c *Concat) Done(s State) bool {
+	st := s.(concatState)
+	if st.inA {
+		return c.b.Compact()
+	}
+	return c.b.Done(st.s)
+}

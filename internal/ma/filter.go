@@ -1,0 +1,194 @@
+package ma
+
+import (
+	"fmt"
+	"math/bits"
+
+	"topocon/internal/graph"
+)
+
+// GraphPred is a named per-round graph predicate, usable with Filter and
+// addressable from declarative scenario specs. The library below covers the
+// structural predicates of the dynamic-network literature; arbitrary Go
+// predicates can be wrapped with NewGraphPred.
+type GraphPred struct {
+	// Name is the canonical predicate name (used by scenario specs and in
+	// derived adversary names).
+	Name string
+	// Holds reports whether the graph satisfies the predicate.
+	Holds func(graph.Graph) bool
+}
+
+// NewGraphPred wraps an arbitrary predicate function under a name.
+func NewGraphPred(name string, holds func(graph.Graph) bool) GraphPred {
+	return GraphPred{Name: name, Holds: holds}
+}
+
+// PredStronglyConnected holds on graphs with a single strongly connected
+// component.
+func PredStronglyConnected() GraphPred {
+	return GraphPred{Name: "strongly-connected", Holds: graph.Graph.IsStronglyConnected}
+}
+
+// PredMinOutDegree holds on graphs in which every process reaches at least
+// d other processes in one round (out-degree excluding the self-loop).
+func PredMinOutDegree(d int) GraphPred {
+	return GraphPred{
+		Name: fmt.Sprintf("min-out-degree>=%d", d),
+		Holds: func(g graph.Graph) bool {
+			for p := 0; p < g.N(); p++ {
+				if bits.OnesCount64(g.Out(p)&^(1<<uint(p))) < d {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
+// PredRooted holds on graphs whose condensation has a single source
+// component — equivalently, some process reaches every process by a
+// directed path (the "rooted" graphs enabling broadcast).
+func PredRooted() GraphPred {
+	return GraphPred{
+		Name: "rooted",
+		Holds: func(g graph.Graph) bool {
+			_, ok := g.SingleRoot()
+			return ok
+		},
+	}
+}
+
+// PredStar holds on graphs in which some process is heard by every process
+// directly (a one-round broadcast star).
+func PredStar() GraphPred {
+	return GraphPred{
+		Name: "star",
+		Holds: func(g graph.Graph) bool {
+			full := graph.AllNodes(g.N())
+			for p := 0; p < g.N(); p++ {
+				if g.Out(p) == full {
+					return true
+				}
+			}
+			return false
+		},
+	}
+}
+
+// PredNonsplit holds on nonsplit graphs: every pair of processes has a
+// common in-neighbour (Coulouma-Godard-Peters).
+func PredNonsplit() GraphPred {
+	return GraphPred{
+		Name: "nonsplit",
+		Holds: func(g graph.Graph) bool {
+			for p := 0; p < g.N(); p++ {
+				for q := p + 1; q < g.N(); q++ {
+					if g.In(p)&g.In(q) == 0 {
+						return false
+					}
+				}
+			}
+			return true
+		},
+	}
+}
+
+// Filter restricts a base adversary to the round graphs satisfying a
+// predicate: a sequence is admissible iff it is admissible under the base
+// and every graph satisfies the predicate. Dead branches (prefixes the base
+// cannot continue inside the predicate) are pruned so that every reachable
+// state keeps a non-empty choice set.
+type Filter struct {
+	name  string
+	base  Adversary
+	pred  GraphPred
+	prune *pruner
+}
+
+var _ Adversary = (*Filter)(nil)
+
+// NewFilter builds the restriction of base to pred. It errors when the
+// restricted language is empty: no infinite walk through satisfying graphs
+// exists from the start state, or none of those walks discharges the
+// base's liveness obligations.
+func NewFilter(base Adversary, name string, pred GraphPred) (*Filter, error) {
+	if pred.Holds == nil {
+		return nil, fmt.Errorf("ma: filter predicate %q has no function", pred.Name)
+	}
+	if name == "" {
+		name = fmt.Sprintf("%s | %s", base.Name(), pred.Name)
+	}
+	f := &Filter{
+		name: name,
+		base: base,
+		pred: pred,
+	}
+	f.prune = newPruner(f.rawChoices, base.Step)
+	if err := f.prune.analyze(base.Start()); err != nil {
+		return nil, err
+	}
+	if !f.prune.isLive(base.Start()) {
+		return nil, fmt.Errorf("ma: filter %q is empty (no infinite sequence satisfies the predicate)", name)
+	}
+	ok, err := doneReachable(f)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("ma: filter %q is empty (the restriction makes the base's obligations unsatisfiable)", name)
+	}
+	return f, nil
+}
+
+// MustFilter is NewFilter for statically-known inputs.
+func MustFilter(base Adversary, name string, pred GraphPred) *Filter {
+	f, err := NewFilter(base, name, pred)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Base returns the filtered adversary.
+func (f *Filter) Base() Adversary { return f.base }
+
+// Pred returns the filtering predicate.
+func (f *Filter) Pred() GraphPred { return f.pred }
+
+// N implements Adversary.
+func (f *Filter) N() int { return f.base.N() }
+
+// Name implements Adversary.
+func (f *Filter) Name() string { return f.name }
+
+// Compact implements Adversary: a per-round predicate is a safety
+// restriction, so filtering preserves limit-closure.
+func (f *Filter) Compact() bool { return f.base.Compact() }
+
+// Start implements Adversary; filter states are the base's states.
+func (f *Filter) Start() State { return f.base.Start() }
+
+// rawChoices is the base's choice set restricted to satisfying graphs, in
+// the base's order.
+func (f *Filter) rawChoices(s State) []graph.Graph {
+	raw := f.base.Choices(s)
+	out := make([]graph.Graph, 0, len(raw))
+	for _, g := range raw {
+		if f.pred.Holds(g) {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// Choices implements Adversary: satisfying graphs whose successor still
+// admits an infinite walk inside the predicate. The pruner memoizes per
+// state, concurrency-safe like Union's cache.
+func (f *Filter) Choices(s State) []graph.Graph { return f.prune.pruned(s) }
+
+// Step implements Adversary.
+func (f *Filter) Step(s State, g graph.Graph) State { return f.base.Step(s, g) }
+
+// Done implements Adversary: the restriction adds no liveness obligations.
+func (f *Filter) Done(s State) bool { return f.base.Done(s) }

@@ -144,10 +144,26 @@ func Admits(a Adversary, word []graph.Graph) (State, bool) {
 	return s, true
 }
 
+// dedupGraphs returns the graphs with duplicates (by canonical key)
+// dropped, preserving first-occurrence order. Constructors use it to keep
+// Choices duplicate-free, as Validate requires.
+func dedupGraphs(graphs []graph.Graph) []graph.Graph {
+	out := make([]graph.Graph, 0, len(graphs))
+	seen := make(map[string]bool, len(graphs))
+	for _, g := range graphs {
+		if k := g.Key(); !seen[k] {
+			seen[k] = true
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
 // Validate performs structural sanity checks on an adversary up to the
-// given exploration depth: choices must be non-empty, graphs must have the
-// right node count, Done must be absorbing, and compact adversaries must be
-// Done everywhere. It returns an error describing the first violation.
+// given exploration depth: choices must be non-empty and duplicate-free,
+// graphs must have the right node count, Done must be absorbing, and
+// compact adversaries must be Done everywhere. It returns an error
+// describing the first violation.
 func Validate(a Adversary, depth int) error {
 	type item struct {
 		s    State
@@ -167,10 +183,16 @@ func Validate(a Adversary, depth int) error {
 		if len(choices) == 0 {
 			return fmt.Errorf("ma: adversary %q has no choices in state %v", a.Name(), it.s)
 		}
+		offered := make(map[string]bool, len(choices))
 		for _, g := range choices {
 			if g.N() != a.N() {
 				return fmt.Errorf("ma: adversary %q offers %d-node graph but N=%d", a.Name(), g.N(), a.N())
 			}
+			k := g.Key()
+			if offered[k] {
+				return fmt.Errorf("ma: adversary %q offers duplicate graph %v in state %v", a.Name(), g, it.s)
+			}
+			offered[k] = true
 		}
 		if a.Compact() && !a.Done(it.s) {
 			return fmt.Errorf("ma: compact adversary %q has non-Done state %v", a.Name(), it.s)

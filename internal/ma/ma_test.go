@@ -40,6 +40,27 @@ func TestObliviousErrors(t *testing.T) {
 	}
 }
 
+func TestObliviousDeduplicatesGraphs(t *testing.T) {
+	a := MustOblivious("", graph.Left, graph.Left, graph.Right)
+	if len(a.Graphs()) != 2 {
+		t.Fatalf("got %d graphs, want duplicates dropped to 2", len(a.Graphs()))
+	}
+	if err := Validate(a, 3); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCommittedSuffixDeduplicatesCommit(t *testing.T) {
+	a := MustCommittedSuffix("", nil,
+		[]graph.Graph{graph.Left, graph.Left, graph.Right}, 1)
+	if err := Validate(a, 4); err != nil {
+		t.Error(err)
+	}
+	if got := len(a.Choices(a.Start())); got != 2 {
+		t.Errorf("deadline choices = %d, want 2", got)
+	}
+}
+
 func TestObliviousFromMask(t *testing.T) {
 	// Mask with bits for Left and Right in the EnumerateAll order.
 	li, ri := graph.IndexOf(graph.Left), graph.IndexOf(graph.Right)

@@ -19,19 +19,19 @@ type Oblivious struct {
 var _ Adversary = (*Oblivious)(nil)
 
 // NewOblivious returns the oblivious adversary over the given non-empty
-// graph set. All graphs must have the same node count.
+// graph set. All graphs must have the same node count; duplicates are
+// dropped (Choices must be duplicate-free).
 func NewOblivious(name string, graphs []graph.Graph) (*Oblivious, error) {
 	if len(graphs) == 0 {
 		return nil, fmt.Errorf("ma: oblivious adversary needs at least one graph")
 	}
 	n := graphs[0].N()
-	for _, g := range graphs[1:] {
+	for _, g := range graphs {
 		if g.N() != n {
 			return nil, fmt.Errorf("ma: mixed node counts %d and %d", n, g.N())
 		}
 	}
-	cp := make([]graph.Graph, len(graphs))
-	copy(cp, graphs)
+	cp := dedupGraphs(graphs)
 	if name == "" {
 		parts := make([]string, len(cp))
 		for i, g := range cp {

@@ -1,0 +1,125 @@
+package ma
+
+import (
+	"fmt"
+
+	"topocon/internal/graph"
+)
+
+// WindowStable adds a graph-repetition liveness obligation to a base
+// adversary: a sequence is admissible iff it is admissible under the base
+// and some graph occurs in k consecutive rounds. It is the graph-identity
+// analogue of EventuallyStable's vertex-stable root windows, applicable to
+// any base (EventuallyStable is tied to single-root stable sets).
+//
+// The combinator is non-compact for k > 0 in general: the base sequences
+// that never hold any graph for k rounds are excluded limits. Choices is
+// the base's — the obligation restricts only limits, not finite behaviour
+// — so a base prefix that cannot extend to a repetition (possible when the
+// base's own structure forbids one, e.g. a strictly alternating lasso set)
+// remains enumerable but never discharges; NewWindowStable rejects bases
+// whose structure makes the obligation wholly unsatisfiable.
+type WindowStable struct {
+	name string
+	base Adversary
+	k    int
+}
+
+var _ Adversary = (*WindowStable)(nil)
+
+// windowState tracks the current repetition streak on top of the base
+// state: lastKey is the canonical key of the previous round's graph and
+// streak its consecutive occurrence count; done is absorbing.
+type windowState struct {
+	base    State
+	lastKey string
+	streak  int
+	done    bool
+}
+
+// NewWindowStable wraps base with a k-round repetition obligation; k must
+// be at least 1, and some admissible base sequence must contain a k-round
+// repetition that also discharges the base's own obligations (otherwise
+// the wrapped language is empty).
+func NewWindowStable(base Adversary, k int) (*WindowStable, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("ma: window %d < 1", k)
+	}
+	w := &WindowStable{
+		name: fmt.Sprintf("%s ~ repeat^%d", base.Name(), k),
+		base: base,
+		k:    k,
+	}
+	ok, err := doneReachable(w)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("ma: window-stable %q is empty (the base admits no %d-round repetition discharging its obligations)", w.name, k)
+	}
+	return w, nil
+}
+
+// MustWindowStable is NewWindowStable for statically-known inputs.
+func MustWindowStable(base Adversary, k int) *WindowStable {
+	w, err := NewWindowStable(base, k)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Base returns the wrapped adversary.
+func (w *WindowStable) Base() Adversary { return w.base }
+
+// Window returns the required repetition length.
+func (w *WindowStable) Window() int { return w.k }
+
+// N implements Adversary.
+func (w *WindowStable) N() int { return w.base.N() }
+
+// Name implements Adversary.
+func (w *WindowStable) Name() string { return w.name }
+
+// Compact implements Adversary: the repetition obligation excludes limit
+// sequences, so the wrapped adversary is reported non-compact (the
+// conservative direction when the base language happens to make the
+// obligation vacuous).
+func (w *WindowStable) Compact() bool { return false }
+
+// Start implements Adversary.
+func (w *WindowStable) Start() State {
+	return windowState{base: w.base.Start()}
+}
+
+// Choices implements Adversary: finite behaviour is the base's.
+func (w *WindowStable) Choices(s State) []graph.Graph {
+	return w.base.Choices(s.(windowState).base)
+}
+
+// Step implements Adversary: equal consecutive graphs extend the streak, a
+// different graph starts a fresh one.
+func (w *WindowStable) Step(s State, g graph.Graph) State {
+	st := s.(windowState)
+	next := w.base.Step(st.base, g)
+	if st.done {
+		return windowState{base: next, done: true}
+	}
+	key := g.Key()
+	streak := 1
+	if key == st.lastKey {
+		streak = st.streak + 1
+	}
+	if streak >= w.k {
+		return windowState{base: next, done: true}
+	}
+	return windowState{base: next, lastKey: key, streak: streak}
+}
+
+// Done implements Adversary: the repetition must have occurred and the
+// base's own obligations must hold. Both conjuncts are absorbing, so the
+// conjunction is.
+func (w *WindowStable) Done(s State) bool {
+	st := s.(windowState)
+	return st.done && w.base.Done(st.base)
+}

@@ -1,0 +1,34 @@
+package scenario
+
+import (
+	"testing"
+
+	"topocon/internal/ma"
+)
+
+// FuzzParse: the scenario parser must never panic, and every successfully
+// built adversary must satisfy the ma.Adversary contract to a shallow
+// depth (mirroring internal/graph's FuzzParse for the edge-list syntax).
+func FuzzParse(f *testing.F) {
+	for _, doc := range registryDocs {
+		f.Add([]byte(doc))
+	}
+	f.Add([]byte(`{"name":"x","n":2,"adversary":{"op":"concat","first":{"op":"unrestricted"},"rounds":1,"then":{"op":"oblivious","graphs":["1->2"]}}}`))
+	f.Add([]byte(`{"name":"x","n":2,"adversary":{"op":"filter","arg":{"op":"unrestricted"},"pred":"nonsplit"}}`))
+	f.Add([]byte(`{"name":"x","n":2,"adversary":{"op":"window-stable","arg":{"op":"unrestricted"},"window":2}}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`garbage`))
+	f.Add([]byte(`{"name":"x","n":99,"adversary":{"op":"unrestricted"}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			return
+		}
+		if s.Adversary == nil {
+			t.Fatal("successful parse with nil adversary")
+		}
+		if err := ma.Validate(s.Adversary, 2); err != nil {
+			t.Fatalf("built adversary violates the contract: %v", err)
+		}
+	})
+}

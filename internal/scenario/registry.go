@@ -1,0 +1,134 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// registryDocs are the built-in scenario documents, one per seed adversary
+// family, written in the same JSON format as on-disk scenario files — the
+// registry dogfoods the parser.
+var registryDocs = []string{
+	`{
+	  "name": "lossy2",
+	  "description": "reduced lossy link {<-,->} of [8]: solvable in one round",
+	  "n": 2,
+	  "graphs": {"L": "2->1", "R": "1->2"},
+	  "adversary": {"op": "oblivious", "name": "lossy-link{<-,->}", "graphs": ["L", "R"]},
+	  "check": {"maxHorizon": 5},
+	  "expect": "solvable"
+	}`,
+	`{
+	  "name": "lossy3",
+	  "description": "classic lossy link {<-,<->,->} of [21]: impossible",
+	  "n": 2,
+	  "graphs": {"L": "2->1", "R": "1->2", "B": "1<->2"},
+	  "adversary": {"op": "oblivious", "name": "lossy-link{<-,<->,->}", "graphs": ["L", "R", "B"]},
+	  "check": {"maxHorizon": 5},
+	  "expect": "impossible"
+	}`,
+	`{
+	  "name": "unrestricted2",
+	  "description": "every graph on two processes, every round",
+	  "n": 2,
+	  "adversary": {"op": "unrestricted"},
+	  "check": {"maxHorizon": 4},
+	  "expect": "impossible"
+	}`,
+	`{
+	  "name": "lossbound-3-1",
+	  "description": "n=3, at most one message lost per round ([22]: below the isolation threshold)",
+	  "n": 3,
+	  "adversary": {"op": "loss-bounded", "f": 1},
+	  "check": {"maxHorizon": 3},
+	  "expect": "solvable"
+	}`,
+	`{
+	  "name": "stable-w2",
+	  "description": "eventually-stable root component, chaos {<-,<->}, stable {->}, window 2 ([23])",
+	  "n": 2,
+	  "graphs": {"L": "2->1", "R": "1->2", "B": "1<->2"},
+	  "adversary": {"op": "eventually-stable", "chaos": ["L", "B"], "stable": ["R"], "window": 2},
+	  "check": {"maxHorizon": 5},
+	  "expect": "solvable"
+	}`,
+	`{
+	  "name": "deadline-stable-w1-d3",
+	  "description": "deadline compactification of the eventually-stable family (window 1, deadline 3)",
+	  "n": 2,
+	  "graphs": {"L": "2->1", "R": "1->2", "B": "1<->2"},
+	  "adversary": {"op": "deadline-stable", "chaos": ["L", "B"], "stable": ["R"], "window": 1, "deadline": 3},
+	  "check": {"maxHorizon": 7},
+	  "expect": "solvable"
+	}`,
+	`{
+	  "name": "committed-d2",
+	  "description": "Fevat-Godard committed suffix: free lossy link, committed {<-,->} from round 2",
+	  "n": 2,
+	  "graphs": {"L": "2->1", "R": "1->2", "B": "1<->2"},
+	  "adversary": {"op": "committed-suffix", "free": ["L", "R", "B"], "commit": ["L", "R"], "deadline": 2},
+	  "check": {"maxHorizon": 7},
+	  "expect": "solvable"
+	}`,
+	`{
+	  "name": "lasso-pair",
+	  "description": "the explicit finite adversary {<-^w, ->^w} (Cor. 5.6 territory)",
+	  "n": 2,
+	  "graphs": {"L": "2->1", "R": "1->2"},
+	  "adversary": {"op": "lasso-set", "words": [{"cycle": ["L"]}, {"cycle": ["R"]}]},
+	  "check": {"maxHorizon": 5},
+	  "expect": "solvable"
+	}`,
+	`{
+	  "name": "exclusion-fair",
+	  "description": "lossy link minus the fair word <->^w (Sec. 6.3 / [9])",
+	  "n": 2,
+	  "graphs": {"L": "2->1", "R": "1->2", "B": "1<->2"},
+	  "adversary": {
+	    "op": "exclusion",
+	    "arg": {"op": "oblivious", "graphs": ["L", "R", "B"]},
+	    "words": [{"cycle": ["B"]}]
+	  },
+	  "check": {"maxHorizon": 5}
+	}`,
+}
+
+var registryOnce = sync.OnceValues(func() ([]*Scenario, error) {
+	out := make([]*Scenario, 0, len(registryDocs))
+	for _, doc := range registryDocs {
+		s, err := Parse([]byte(doc))
+		if err != nil {
+			return nil, fmt.Errorf("scenario: built-in registry: %w", err)
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+})
+
+// Registry returns the built-in scenarios, one per seed adversary family,
+// sorted by name. The returned scenarios are shared — treat them as
+// read-only. The error is non-nil only if a built-in document is broken,
+// which the package's tests rule out.
+func Registry() ([]*Scenario, error) {
+	scenarios, err := registryOnce()
+	if err != nil {
+		return nil, err
+	}
+	return append([]*Scenario(nil), scenarios...), nil
+}
+
+// Lookup returns the built-in scenario with the given name.
+func Lookup(name string) (*Scenario, bool) {
+	scenarios, err := registryOnce()
+	if err != nil {
+		return nil, false
+	}
+	for _, s := range scenarios {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return nil, false
+}

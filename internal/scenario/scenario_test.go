@@ -1,0 +1,170 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"topocon/internal/check"
+	"topocon/internal/ma"
+)
+
+func TestParseBuildsCombinators(t *testing.T) {
+	doc := `{
+	  "name": "demo",
+	  "description": "intersection with a window obligation",
+	  "n": 2,
+	  "graphs": {"L": "2->1", "R": "1->2", "B": "1<->2"},
+	  "adversary": {
+	    "op": "intersect",
+	    "args": [
+	      {"op": "window-stable", "arg": {"op": "oblivious", "graphs": ["L", "R", "B"]}, "window": 2},
+	      {"op": "eventually-stable", "chaos": ["L", "B", ""], "stable": ["R"], "window": 1}
+	    ]
+	  },
+	  "check": {"maxHorizon": 4, "latencySlack": 1},
+	  "expect": "unknown"
+	}`
+	s, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "demo" || s.Adversary.N() != 2 {
+		t.Fatalf("bad scenario %+v", s)
+	}
+	if _, ok := s.Adversary.(*ma.Intersect); !ok {
+		t.Fatalf("adversary is %T, want *ma.Intersect", s.Adversary)
+	}
+	if s.Options.MaxHorizon != 4 || s.Options.LatencySlack != 1 {
+		t.Errorf("options = %+v", s.Options)
+	}
+	if s.Expect != check.VerdictUnknown {
+		t.Errorf("expect = %v", s.Expect)
+	}
+	if err := ma.Validate(s.Adversary, 5); err != nil {
+		t.Errorf("built adversary violates the contract: %v", err)
+	}
+	if s.Fingerprint(4) != ma.Fingerprint(s.Adversary, 4) {
+		t.Error("Fingerprint must delegate to ma.Fingerprint")
+	}
+}
+
+func TestParseInlineGraphRefs(t *testing.T) {
+	doc := `{
+	  "name": "inline",
+	  "n": 3,
+	  "adversary": {"op": "oblivious", "graphs": ["1->2, 2->3", "1<->2, 1<->3, 2<->3"]}
+	}`
+	s, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob, ok := s.Adversary.(*ma.Oblivious)
+	if !ok || len(ob.Graphs()) != 2 {
+		t.Fatalf("adversary = %v", s.Adversary)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"bad json", `{`, "scenario"},
+		{"unknown field", `{"name":"x","n":2,"bogus":1,"adversary":{"op":"unrestricted"}}`, "bogus"},
+		{"trailing data", `{"name":"x","n":2,"adversary":{"op":"unrestricted"}} {}`, "trailing"},
+		{"missing name", `{"n":2,"adversary":{"op":"unrestricted"}}`, "missing name"},
+		{"bad n", `{"name":"x","n":0,"adversary":{"op":"unrestricted"}}`, "out of range"},
+		{"missing adversary", `{"name":"x","n":2}`, "missing adversary"},
+		{"bad expect", `{"name":"x","n":2,"adversary":{"op":"unrestricted"},"expect":"perhaps"}`, "unknown expected verdict"},
+		{"unknown op", `{"name":"x","n":2,"adversary":{"op":"teleport"}}`, "unknown op"},
+		{"missing op", `{"name":"x","n":2,"adversary":{}}`, "missing op"},
+		{"bad graph ref", `{"name":"x","n":2,"adversary":{"op":"oblivious","graphs":["9->9"]}}`, "graph ref"},
+		{"bad named graph", `{"name":"x","n":2,"graphs":{"G":"zap"},"adversary":{"op":"unrestricted"}}`, "graph \"G\""},
+		{"intersect arity", `{"name":"x","n":2,"adversary":{"op":"intersect","args":[{"op":"unrestricted"}]}}`, "exactly 2"},
+		{"unknown pred", `{"name":"x","n":2,"adversary":{"op":"filter","arg":{"op":"unrestricted"},"pred":"pretty"}}`, "unknown pred"},
+		{"missing pred", `{"name":"x","n":2,"adversary":{"op":"filter","arg":{"op":"unrestricted"}}}`, "missing pred"},
+		{"enumeration cap", `{"name":"x","n":6,"adversary":{"op":"unrestricted"}}`, "enumeration cap"},
+		{"concat missing arm", `{"name":"x","n":2,"adversary":{"op":"concat","rounds":1,"then":{"op":"unrestricted"}}}`, "missing expression"},
+		{"empty word cycle", `{"name":"x","n":2,"adversary":{"op":"lasso-set","words":[{"cycle":[]}]}}`, "non-empty cycle"},
+		{"name on nameless op", `{"name":"x","n":2,"adversary":{"op":"window-stable","name":"my-adv","arg":{"op":"unrestricted"},"window":2}}`, "does not accept a name"},
+		{"rounds cap", `{"name":"x","n":2,"adversary":{"op":"concat","first":{"op":"unrestricted"},"rounds":3000000,"then":{"op":"unrestricted"}}}`, "exceeds the cap"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse([]byte(c.doc))
+			if err == nil {
+				t.Fatalf("Parse succeeded, want error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestRegistrySeedFamilies: every built-in scenario parses, satisfies the
+// adversary contract, and carries a usable option set; Lookup finds each.
+func TestRegistrySeedFamilies(t *testing.T) {
+	scenarios, err := Registry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scenarios) < 8 {
+		t.Fatalf("registry has %d scenarios, want >= 8", len(scenarios))
+	}
+	seen := map[string]bool{}
+	for _, s := range scenarios {
+		if seen[s.Name] {
+			t.Errorf("duplicate registry name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Description == "" {
+			t.Errorf("%s: missing description", s.Name)
+		}
+		if err := ma.Validate(s.Adversary, 5); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+		got, ok := Lookup(s.Name)
+		if !ok || got.Name != s.Name {
+			t.Errorf("Lookup(%q) = %v, %v", s.Name, got, ok)
+		}
+	}
+	if _, ok := Lookup("no-such-scenario"); ok {
+		t.Error("Lookup of unknown name must fail")
+	}
+	// Registry returns a fresh slice each call.
+	again, _ := Registry()
+	again[0] = nil
+	fresh, _ := Registry()
+	if fresh[0] == nil {
+		t.Error("Registry must not expose its backing slice")
+	}
+}
+
+// TestRegistryVerdicts runs every built-in scenario with a pinned expected
+// verdict through an Analyzer session and checks the outcome.
+func TestRegistryVerdicts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analysis sweep in -short mode")
+	}
+	scenarios, err := Registry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range scenarios {
+		if s.Expect == 0 {
+			continue
+		}
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			res, err := check.Consensus(s.Adversary, s.Options)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Verdict != s.Expect {
+				t.Errorf("verdict = %v, want %v", res.Verdict, s.Expect)
+			}
+		})
+	}
+}

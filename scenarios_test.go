@@ -1,0 +1,80 @@
+package topocon_test
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"topocon"
+)
+
+// fingerprintDepth is the exploration depth under which the corpus
+// fingerprints are compared; deep enough to separate every entry's
+// behaviour.
+const fingerprintDepth = 6
+
+// TestScenarioCorpus walks every spec in scenarios/ through a full
+// Analyzer session: the adversary must satisfy the automaton contract, the
+// verdict must match the spec's pinned expectation, and the behavioural
+// fingerprint must be stable across independent loads and distinct across
+// the corpus.
+func TestScenarioCorpus(t *testing.T) {
+	files, err := filepath.Glob("scenarios/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 8 {
+		t.Fatalf("scenario corpus has %d specs, want >= 8", len(files))
+	}
+	type entry struct {
+		file        string
+		fingerprint string
+	}
+	var entries []entry
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			s, err := topocon.LoadScenario(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Expect == 0 {
+				t.Fatalf("%s: corpus specs must pin an expected verdict", file)
+			}
+			if err := topocon.ValidateAdversary(s.Adversary, 5); err != nil {
+				t.Fatalf("contract violation: %v", err)
+			}
+			// Fingerprints are stable across independent constructions of
+			// the same spec.
+			again, err := topocon.LoadScenario(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fp := s.Fingerprint(fingerprintDepth)
+			if fp2 := again.Fingerprint(fingerprintDepth); fp2 != fp {
+				t.Errorf("fingerprint not stable across loads: %s vs %s", fp, fp2)
+			}
+			entries = append(entries, entry{file: file, fingerprint: fp})
+
+			an, err := topocon.NewAnalyzer(s.Adversary, topocon.WithCheckOptions(s.Options))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := an.Check(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Verdict != s.Expect {
+				t.Errorf("verdict = %v, want %v", res.Verdict, s.Expect)
+			}
+		})
+	}
+	// Every corpus entry denotes a behaviourally distinct adversary.
+	seen := map[string]string{}
+	for _, e := range entries {
+		if prev, clash := seen[e.fingerprint]; clash {
+			t.Errorf("fingerprint collision between %s and %s", prev, e.file)
+		}
+		seen[e.fingerprint] = e.file
+	}
+}

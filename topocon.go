@@ -54,6 +54,7 @@ import (
 	"topocon/internal/lasso"
 	"topocon/internal/ma"
 	"topocon/internal/ptg"
+	"topocon/internal/scenario"
 	"topocon/internal/sim"
 	"topocon/internal/topo"
 )
@@ -102,6 +103,10 @@ type (
 	GraphWord = ma.GraphWord
 )
 
+// GraphPred is a named per-round graph predicate for Filter adversaries
+// and scenario specs.
+type GraphPred = ma.GraphPred
+
 // Adversary constructors.
 var (
 	// NewOblivious builds an oblivious adversary over a graph set.
@@ -131,6 +136,53 @@ var (
 	RepeatWord   = ma.Repeat
 	// ValidateAdversary sanity-checks an adversary implementation.
 	ValidateAdversary = ma.Validate
+)
+
+// The adversary combinator algebra: a closed set of operators over
+// arbitrary adversaries. Together with the constructors above they form
+// the full definition surface; scenario specs compile to exactly these.
+var (
+	// NewIntersect is the product automaton a ∩ b (conjunction of
+	// admissibility, graph-set intersection per round, dead branches
+	// pruned).
+	NewIntersect = ma.NewIntersect
+	// NewConcat plays the first adversary for exactly k rounds, then the
+	// second forever.
+	NewConcat = ma.NewConcat
+	// NewFilter restricts an adversary to rounds satisfying a graph
+	// predicate.
+	NewFilter = ma.NewFilter
+	// NewWindowStable adds the obligation that some graph repeats k
+	// consecutive rounds.
+	NewWindowStable = ma.NewWindowStable
+	// NewGraphPred wraps an arbitrary predicate; the Pred* constructors
+	// cover the structural predicates of the literature.
+	NewGraphPred          = ma.NewGraphPred
+	PredStronglyConnected = ma.PredStronglyConnected
+	PredMinOutDegree      = ma.PredMinOutDegree
+	PredRooted            = ma.PredRooted
+	PredStar              = ma.PredStar
+	PredNonsplit          = ma.PredNonsplit
+	// Fingerprint returns the canonical behavioural hash of an adversary's
+	// reachable automaton: the identity under which sessions and caching
+	// layers key analysis results.
+	Fingerprint = ma.Fingerprint
+)
+
+// Scenario is a parsed declarative scenario: a named adversary expression
+// plus checker options; see internal/scenario for the JSON format.
+type Scenario = scenario.Scenario
+
+// Scenario loading.
+var (
+	// LoadScenario reads and builds a scenario file.
+	LoadScenario = scenario.Load
+	// ParseScenario builds a scenario from JSON bytes.
+	ParseScenario = scenario.Parse
+	// ScenarioRegistry lists the built-in seed-family scenarios.
+	ScenarioRegistry = scenario.Registry
+	// LookupScenario finds a built-in scenario by name.
+	LookupScenario = scenario.Lookup
 )
 
 // Runs, process-time graphs and views.

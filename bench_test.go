@@ -316,6 +316,58 @@ func BenchmarkAnalyzerIncremental(b *testing.B) {
 	}
 }
 
+// BenchmarkRefineVsDecompose isolates the per-horizon decomposition cost
+// of a session walking LossyLink2 horizons 1..benchMaxHorizon: "decompose"
+// re-buckets every horizon from scratch (topocon.DecomposeCtx, the
+// reference), "refine" seeds each horizon's partition from the previous
+// one (topocon.Decomposition.Refine). The spaces are extended once outside
+// the timer, so the pair differs only in how the partition is obtained.
+// Track the ratio in the perf trajectory; the acceptance floor is 2×.
+func BenchmarkRefineVsDecompose(b *testing.B) {
+	ctx := context.Background()
+	spaces := make([]*topocon.Space, benchMaxHorizon+1)
+	s, err := topocon.BuildSpace(topocon.LossyLink2(), 2, 1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spaces[1] = s
+	for t := 2; t <= benchMaxHorizon; t++ {
+		if s, err = s.Extend(ctx, t); err != nil {
+			b.Fatal(err)
+		}
+		spaces[t] = s
+	}
+	wantComps := make([]int, benchMaxHorizon+1)
+	for t := 1; t <= benchMaxHorizon; t++ {
+		wantComps[t] = len(topocon.Decompose(spaces[t]).Comps)
+	}
+	b.Run("decompose", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for t := 1; t <= benchMaxHorizon; t++ {
+				d, err := topocon.DecomposeCtx(ctx, spaces[t])
+				if err != nil || len(d.Comps) != wantComps[t] {
+					b.Fatalf("horizon %d: %d components, err %v", t, len(d.Comps), err)
+				}
+			}
+		}
+	})
+	b.Run("refine", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d, err := topocon.DecomposeCtx(ctx, spaces[1])
+			if err != nil {
+				b.Fatal(err)
+			}
+			for t := 2; t <= benchMaxHorizon; t++ {
+				if d, err = d.Refine(ctx, spaces[t]); err != nil || len(d.Comps) != wantComps[t] {
+					b.Fatalf("horizon %d: %d components, err %v", t, len(d.Comps), err)
+				}
+			}
+		}
+	})
+}
+
 var sinkInt int
 
 func mustCommitted(b *testing.B, free, commit []topocon.Graph, deadline int) topocon.Adversary {

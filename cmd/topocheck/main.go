@@ -40,6 +40,7 @@ func main() {
 		window   = flag.Int("window", 1, "stability window for -preset stable")
 		deadline = flag.Int("deadline", 2, "deadline for -preset committed")
 		workers  = flag.Int("workers", 1, "worker-pool size for frontier expansion and decomposition")
+		retain   = flag.Int("retain", 1, "prefix spaces kept alive besides the separation horizon's (bounds session memory); 0 retains every horizon")
 		verbose  = flag.Bool("v", false, "print per-horizon decomposition statistics as the session refines")
 	)
 	flag.Parse()
@@ -69,6 +70,7 @@ func main() {
 	anOpts := []topocon.AnalyzerOption{
 		topocon.WithCheckOptions(opts),
 		topocon.WithParallelism(*workers),
+		topocon.WithRetainSpaces(*retain),
 	}
 	if *verbose {
 		fmt.Println("horizon  runs  components  mixed  broadcastable    elapsed")

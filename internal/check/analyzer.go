@@ -84,6 +84,18 @@ func WithParallelism(w int) AnalyzerOption {
 	return func(a *Analyzer) { a.parallelism = w }
 }
 
+// WithRetainSpaces sets the session's space-retention policy: the k deepest
+// prefix spaces stay alive, plus — always — the separation-horizon space
+// once it is found (the compiled decision map's reference). Evicted
+// horizons are released to the garbage collector and SpaceAt returns nil
+// for them. The default is k = 1 (deepest + separation), which bounds a
+// session's live item memory to two horizons instead of Σ_t |PS^t|;
+// k = 0 retains every analysed horizon (the pre-retention behaviour);
+// negative k is a configuration error.
+func WithRetainSpaces(k int) AnalyzerOption {
+	return func(a *Analyzer) { a.retain = k }
+}
+
 // WithProgress registers a callback invoked after every analysed horizon,
 // from the goroutine running Step or Check.
 func WithProgress(fn func(HorizonReport)) AnalyzerOption {
@@ -112,22 +124,28 @@ type Analyzer struct {
 	adv         ma.Adversary
 	opts        Options
 	parallelism int
+	retain      int // spaces kept besides the separation horizon; 0 = all
 	progress    func(HorizonReport)
 
-	// spaces[t] is the horizon-t prefix space; all share one interner.
+	// spaces[t] is the horizon-t prefix space, or nil once evicted by the
+	// retention policy; retained spaces all share one interner.
 	spaces   []*topo.Space
+	cur      *topo.Space         // deepest space, never evicted
 	decomp   *topo.Decomposition // decomposition at the deepest horizon
 	res      *Result
 	finished bool
 }
 
 // NewAnalyzer creates an analysis session for the adversary. It validates
-// the configuration (negative InputDomain, MaxHorizon, MaxRuns or
-// LatencySlack are rejected) without building any space yet.
+// the configuration (negative InputDomain, MaxHorizon, MaxRuns,
+// LatencySlack or retention are rejected) without building any space yet.
 func NewAnalyzer(adv ma.Adversary, options ...AnalyzerOption) (*Analyzer, error) {
-	a := &Analyzer{adv: adv, parallelism: 1}
+	a := &Analyzer{adv: adv, parallelism: 1, retain: 1}
 	for _, o := range options {
 		o(a)
+	}
+	if a.retain < 0 {
+		return nil, fmt.Errorf("check: negative space retention %d", a.retain)
 	}
 	opts, err := a.opts.withDefaults()
 	if err != nil {
@@ -153,21 +171,35 @@ func (a *Analyzer) Options() Options { return a.opts }
 
 // Horizon returns the deepest horizon analysed so far (0 before any Step).
 func (a *Analyzer) Horizon() int {
-	if len(a.spaces) == 0 {
+	if a.cur == nil {
 		return 0
 	}
-	return a.spaces[len(a.spaces)-1].Horizon
+	return a.cur.Horizon
 }
 
 // SpaceAt returns the retained prefix space at horizon t, or nil if that
-// horizon has not been analysed. All returned spaces share one interner,
-// so views are comparable across horizons and with the compiled decision
-// map.
+// horizon has not been analysed or was evicted by the retention policy
+// (WithRetainSpaces): by default only the deepest space and, once found,
+// the separation-horizon space are served; every earlier horizon returns
+// nil. All returned spaces share one interner, so views are comparable
+// across horizons and with the compiled decision map.
 func (a *Analyzer) SpaceAt(t int) *topo.Space {
 	if t < 0 || t >= len(a.spaces) {
 		return nil
 	}
 	return a.spaces[t]
+}
+
+// RetainedHorizons returns the horizons whose spaces are still alive, in
+// ascending order — the exact set SpaceAt serves.
+func (a *Analyzer) RetainedHorizons() []int {
+	var out []int
+	for t := range a.spaces {
+		if a.spaces[t] != nil {
+			out = append(out, t)
+		}
+	}
+	return out
 }
 
 // Decomposition returns the decomposition at the deepest analysed horizon,
@@ -184,7 +216,12 @@ func (a *Analyzer) DecisionMap() *DecisionMap { return a.res.Map }
 func (a *Analyzer) Result() *Result { return a.res }
 
 // Step advances the session by exactly one horizon: it extends the prefix
-// space incrementally by one round, decomposes it, updates the running
+// space incrementally by one round, decomposes it — incrementally too,
+// refining the previous horizon's partition via topo.Decomposition.Refine
+// (components only ever split under the refinement invariant, so the child
+// partition is seeded from the parent's and splits are detected locally);
+// the first horizon, which has no parent partition, uses the from-scratch
+// topo.DecomposeCtx — applies the retention policy, updates the running
 // result, and reports. It returns ErrHorizonExhausted once MaxHorizon has
 // been analysed, and the context error on cancellation (leaving the
 // session resumable).
@@ -196,7 +233,7 @@ func (a *Analyzer) Step(ctx context.Context) (HorizonReport, error) {
 		return HorizonReport{}, err
 	}
 	start := time.Now()
-	if len(a.spaces) == 0 {
+	if a.cur == nil {
 		base, err := topo.BuildCtx(ctx, a.adv, a.opts.InputDomain, 0, topo.Config{
 			MaxRuns:     a.opts.MaxRuns,
 			Parallelism: a.parallelism,
@@ -205,18 +242,25 @@ func (a *Analyzer) Step(ctx context.Context) (HorizonReport, error) {
 			return HorizonReport{}, fmt.Errorf("check: horizon 0: %w", err)
 		}
 		a.spaces = append(a.spaces, base)
+		a.cur = base
 	}
-	cur := a.spaces[len(a.spaces)-1]
-	next, err := cur.Extend(ctx, cur.Horizon+1)
+	next, err := a.cur.Extend(ctx, a.cur.Horizon+1)
 	if err != nil {
-		return HorizonReport{}, fmt.Errorf("check: horizon %d: %w", cur.Horizon+1, err)
+		return HorizonReport{}, fmt.Errorf("check: horizon %d: %w", a.cur.Horizon+1, err)
 	}
-	d, err := topo.DecomposeCtx(ctx, next)
+	var d *topo.Decomposition
+	if a.decomp != nil {
+		d, err = a.decomp.Refine(ctx, next)
+	} else {
+		d, err = topo.DecomposeCtx(ctx, next)
+	}
 	if err != nil {
 		return HorizonReport{}, fmt.Errorf("check: horizon %d: %w", next.Horizon, err)
 	}
 	a.spaces = append(a.spaces, next)
+	a.cur = next
 	a.decomp = d
+	a.evict()
 
 	t := next.Horizon
 	res := a.res
@@ -253,6 +297,23 @@ func (a *Analyzer) Step(ctx context.Context) (HorizonReport, error) {
 		a.progress(rep)
 	}
 	return rep, nil
+}
+
+// evict applies the retention policy after a completed horizon: every
+// space shallower than the retain window is released, except the
+// separation-horizon space (the decision map's reference, which SpaceAt
+// keeps serving). retain = 0 keeps every horizon.
+func (a *Analyzer) evict() {
+	if a.retain <= 0 {
+		return
+	}
+	keepFrom := len(a.spaces) - a.retain
+	for t := 0; t < keepFrom; t++ {
+		if t == a.res.SeparationHorizon {
+			continue
+		}
+		a.spaces[t] = nil
+	}
 }
 
 // Check runs the analysis to a verdict: it advances horizons with Step
@@ -347,7 +408,11 @@ func (a *Analyzer) finalizeCompact() {
 // yields VerdictUnknown together with the refuting evidence.
 func (a *Analyzer) finalizeNonCompact() {
 	res := a.res
-	s := a.spaces[len(a.spaces)-1]
+	s := a.cur
+	if s == nil {
+		res.Verdict = VerdictUnknown
+		return
+	}
 	t := s.Horizon
 	res.Space = s
 	res.Decomposition = a.decomp
@@ -357,14 +422,18 @@ func (a *Analyzer) finalizeNonCompact() {
 	// broadcasters must be heard-by-all in every witness item by
 	// DoneAt + LatencySlack.
 	n := s.N()
-	witnesses := 0
+	witnesses, discharged := 0, 0
 	candidates := make([]bool, n)
 	for p := range candidates {
 		candidates[p] = true
 	}
 	for i := range s.Items {
 		item := &s.Items[i]
-		if item.DoneAt < 0 || item.DoneAt > t-a.opts.LatencySlack {
+		if item.DoneAt < 0 {
+			continue
+		}
+		discharged++
+		if item.DoneAt > t-a.opts.LatencySlack {
 			continue
 		}
 		witnesses++
@@ -380,6 +449,24 @@ func (a *Analyzer) finalizeNonCompact() {
 		}
 	}
 	if witnesses == 0 {
+		// Distinguish "nothing ever discharged" from a budget
+		// misconfiguration: LatencySlack > horizon rejects every discharged
+		// run (then t - LatencySlack < 0, so DoneAt > t - LatencySlack
+		// holds even for DoneAt = 0), which would otherwise read as silent
+		// unsolvability evidence.
+		switch {
+		case discharged > 0 && a.opts.LatencySlack > t:
+			res.Notes = append(res.Notes, fmt.Sprintf(
+				"latency slack %d exceeds the analysis horizon %d: all %d discharged runs were rejected as witnesses; raise MaxHorizon or lower LatencySlack",
+				a.opts.LatencySlack, t, discharged))
+		case discharged > 0:
+			res.Notes = append(res.Notes, fmt.Sprintf(
+				"all %d discharged runs discharged after round %d (horizon %d minus latency slack %d); raise MaxHorizon to observe post-discharge rounds",
+				discharged, t-a.opts.LatencySlack, t, a.opts.LatencySlack))
+		default:
+			res.Notes = append(res.Notes, fmt.Sprintf(
+				"no admissible run discharged its liveness obligations by horizon %d", t))
+		}
 		res.Verdict = VerdictUnknown
 		return
 	}

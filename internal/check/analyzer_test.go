@@ -3,6 +3,7 @@ package check
 import (
 	"context"
 	"errors"
+	"strings"
 	"testing"
 
 	"topocon/internal/graph"
@@ -240,7 +241,7 @@ func TestAnalyzerRejectsNegativeOptions(t *testing.T) {
 // TestAnalyzerSharedInterner asserts every retained space and the compiled
 // decision map share one interner, so views are comparable across horizons.
 func TestAnalyzerSharedInterner(t *testing.T) {
-	a, err := NewAnalyzer(ma.LossyLink2(), WithMaxHorizon(3))
+	a, err := NewAnalyzer(ma.LossyLink2(), WithMaxHorizon(3), WithRetainSpaces(0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,10 +253,11 @@ func TestAnalyzerSharedInterner(t *testing.T) {
 		t.Fatalf("verdict %v, map %v", res.Verdict, res.Map)
 	}
 	in := res.Map.Interner()
+	// retain = 0 keeps every horizon alive.
 	for horizon := 0; horizon <= a.Horizon(); horizon++ {
 		s := a.SpaceAt(horizon)
 		if s == nil {
-			t.Fatalf("SpaceAt(%d) = nil", horizon)
+			t.Fatalf("SpaceAt(%d) = nil under retain-all", horizon)
 		}
 		if s.Interner != in {
 			t.Errorf("horizon %d: interner differs from decision map's", horizon)
@@ -263,6 +265,123 @@ func TestAnalyzerSharedInterner(t *testing.T) {
 	}
 	if a.DecisionMap() != res.Map {
 		t.Error("DecisionMap() disagrees with Result")
+	}
+}
+
+// TestAnalyzerRetention pins the space-retention contract: a deep session
+// under the default policy holds at most two spaces alive (the deepest and
+// the separation horizon's), SpaceAt serves exactly those, WithRetainSpaces
+// widens or disables the window, and negative retention is rejected.
+func TestAnalyzerRetention(t *testing.T) {
+	const maxHorizon = 8
+	runDeep := func(t *testing.T, opts ...AnalyzerOption) *Analyzer {
+		t.Helper()
+		a, err := NewAnalyzer(ma.LossyLink2(), append([]AnalyzerOption{WithMaxHorizon(maxHorizon)}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Check stops at the separation horizon; keep stepping to depth.
+		if _, err := a.Check(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		for {
+			if _, err := a.Step(context.Background()); err != nil {
+				if errors.Is(err, ErrHorizonExhausted) {
+					break
+				}
+				t.Fatal(err)
+			}
+		}
+		if a.Horizon() != maxHorizon {
+			t.Fatalf("deep session stopped at horizon %d", a.Horizon())
+		}
+		return a
+	}
+
+	t.Run("default", func(t *testing.T) {
+		a := runDeep(t)
+		retained := a.RetainedHorizons()
+		if len(retained) > 2 {
+			t.Fatalf("default retention holds %d spaces (%v), want at most 2", len(retained), retained)
+		}
+		sep := a.Result().SeparationHorizon
+		if sep < 0 {
+			t.Fatalf("LossyLink2 must separate")
+		}
+		if a.SpaceAt(sep) == nil {
+			t.Errorf("separation-horizon space (t=%d) evicted", sep)
+		}
+		if a.SpaceAt(maxHorizon) == nil {
+			t.Error("deepest space evicted")
+		}
+		for horizon := 0; horizon < maxHorizon; horizon++ {
+			if horizon != sep && a.SpaceAt(horizon) != nil {
+				t.Errorf("SpaceAt(%d) alive, want evicted", horizon)
+			}
+		}
+		// The retained reference space still backs the decision map.
+		if a.Result().Space != a.SpaceAt(sep) {
+			t.Error("Result.Space disagrees with SpaceAt(separation)")
+		}
+	})
+	t.Run("retain-all", func(t *testing.T) {
+		a := runDeep(t, WithRetainSpaces(0))
+		if got := len(a.RetainedHorizons()); got != maxHorizon+1 {
+			t.Errorf("retain-all holds %d spaces, want %d", got, maxHorizon+1)
+		}
+	})
+	t.Run("retain-3", func(t *testing.T) {
+		a := runDeep(t, WithRetainSpaces(3))
+		want := map[int]bool{maxHorizon: true, maxHorizon - 1: true, maxHorizon - 2: true,
+			a.Result().SeparationHorizon: true}
+		for horizon := 0; horizon <= maxHorizon; horizon++ {
+			if alive := a.SpaceAt(horizon) != nil; alive != want[horizon] {
+				t.Errorf("SpaceAt(%d) alive=%v, want %v", horizon, alive, want[horizon])
+			}
+		}
+	})
+	t.Run("negative", func(t *testing.T) {
+		if _, err := NewAnalyzer(ma.LossyLink2(), WithRetainSpaces(-1)); err == nil {
+			t.Error("negative retention: want error")
+		}
+	})
+}
+
+// TestLatencySlackExceedsHorizon is the regression for the silent
+// zero-witness outcome: with LatencySlack > MaxHorizon every discharged run
+// is rejected (DoneAt > t - slack holds even for DoneAt = 0) and the
+// non-compact route used to report a bare VerdictUnknown with no hint.
+func TestLatencySlackExceedsHorizon(t *testing.T) {
+	stable := ma.MustEventuallyStable("",
+		[]graph.Graph{graph.Left, graph.Both}, []graph.Graph{graph.Right}, 1)
+	const maxHorizon = 3
+	// Sanity: with the default slack the adversary discharges and solves.
+	base, err := Consensus(stable, Options{MaxHorizon: maxHorizon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Verdict != VerdictSolvable {
+		t.Fatalf("baseline verdict %v, want solvable", base.Verdict)
+	}
+	a, err := NewAnalyzer(stable, WithMaxHorizon(maxHorizon), WithLatencySlack(maxHorizon+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Check(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != VerdictUnknown {
+		t.Fatalf("verdict %v, want unknown", res.Verdict)
+	}
+	if len(res.Notes) == 0 {
+		t.Fatal("zero-witness outcome recorded no note")
+	}
+	if !strings.Contains(res.Notes[0], "latency slack") || !strings.Contains(res.Notes[0], "exceeds") {
+		t.Errorf("note %q does not name the slack misconfiguration", res.Notes[0])
+	}
+	if !strings.Contains(res.Summary(), res.Notes[0]) {
+		t.Error("Summary does not surface the note")
 	}
 }
 

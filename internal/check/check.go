@@ -138,6 +138,11 @@ type Result struct {
 	Rule               Rule
 	MaxDecisionLatency int
 	PendingUndecided   bool
+
+	// Notes surfaces analysis anomalies that would otherwise hide inside
+	// VerdictUnknown — e.g. a LatencySlack exceeding the analysis horizon,
+	// which rejects every witness run of the non-compact route.
+	Notes []string
 }
 
 // Consensus analyses solvability of consensus under the adversary,
@@ -189,6 +194,9 @@ func (r *Result) Summary() string {
 		if r.PendingUndecided {
 			sb.WriteString("evidence:   runs with discharged obligations stay undecided (non-broadcastable)\n")
 		}
+	}
+	for _, note := range r.Notes {
+		fmt.Fprintf(&sb, "note:       %s\n", note)
 	}
 	return sb.String()
 }

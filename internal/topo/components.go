@@ -2,6 +2,8 @@ package topo
 
 import (
 	"context"
+	"math/bits"
+	"sort"
 	"sync"
 
 	"topocon/internal/graph"
@@ -166,12 +168,20 @@ func summarize(s *Space, members []int) Component {
 		Broadcasters:  full,
 		UniformInputs: full,
 	}
-	valences := make(map[int]bool, 2)
+	// Valences are input values, so the domain is tiny; a bitmask replaces
+	// the per-component set allocation. Values ≥ 64 (domains that large
+	// never fit a prefix-space enumeration anyway) spill into a slice.
+	var vmask uint64
+	var vbig []int
 	first := s.Items[members[0]].Run.Inputs
 	for _, i := range members {
 		item := &s.Items[i]
-		if item.Valence >= 0 {
-			valences[item.Valence] = true
+		if v := item.Valence; v >= 0 {
+			if v < 64 {
+				vmask |= 1 << uint(v)
+			} else {
+				vbig = append(vbig, v)
+			}
 		}
 		// A process p stays a broadcaster only if everyone heard it by t
 		// in this run.
@@ -182,11 +192,29 @@ func summarize(s *Space, members []int) Component {
 			}
 		}
 	}
-	for v := range valences {
-		c.Valences = append(c.Valences, v)
-	}
-	sortInts(c.Valences)
+	c.Valences = valenceList(vmask, vbig)
 	return c
+}
+
+// valenceList expands the valence bitmask (plus the rare ≥ 64 spill) into
+// the ascending value list of a Component.
+func valenceList(vmask uint64, vbig []int) []int {
+	if vmask == 0 && len(vbig) == 0 {
+		return nil
+	}
+	out := make([]int, 0, bits.OnesCount64(vmask)+len(vbig))
+	for m := vmask; m != 0; m &= m - 1 {
+		out = append(out, bits.TrailingZeros64(m))
+	}
+	if len(vbig) > 0 {
+		sort.Ints(vbig)
+		for _, v := range vbig {
+			if len(out) == 0 || out[len(out)-1] != v {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
 }
 
 // MixedComponents returns the indices of components containing valent runs
@@ -255,14 +283,6 @@ func (d *Decomposition) CrossValenceLevel() (int, bool) {
 		return 0, false
 	}
 	return best, true
-}
-
-func sortInts(xs []int) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
 }
 
 func sameInts(a, b []int) bool {

@@ -3,6 +3,8 @@ package topo
 import (
 	"context"
 	"fmt"
+
+	"topocon/internal/graph"
 )
 
 // Extend returns the prefix space at the given (strictly larger) horizon by
@@ -45,28 +47,35 @@ func (s *Space) Extend(ctx context.Context, horizon int) (*Space, error) {
 func (s *Space) extendOne(ctx context.Context) (*Space, error) {
 	adv := s.Adversary
 	// Lay out child slots with a prefix sum over per-parent branching, so
-	// workers write disjoint, deterministic ranges.
+	// workers write disjoint, deterministic ranges. The per-parent choice
+	// slices are kept for the worker loop below: Choices is part of the
+	// adversary contract, not guaranteed to be cheap — allocating
+	// implementations (product automata, filters) would otherwise pay for
+	// every parent twice.
+	choices := make([][]graph.Graph, len(s.Items))
 	offsets := make([]int, len(s.Items)+1)
 	for i := range s.Items {
-		offsets[i+1] = offsets[i] + len(adv.Choices(s.Items[i].State))
+		choices[i] = adv.Choices(s.Items[i].State)
+		offsets[i+1] = offsets[i] + len(choices[i])
 	}
 	total := offsets[len(s.Items)]
 	if total > s.maxRuns {
 		return nil, fmt.Errorf("topo: space has %d runs, exceeding cap %d", total, s.maxRuns)
 	}
 	next := &Space{
-		Adversary:   adv,
-		InputDomain: s.InputDomain,
-		Horizon:     s.Horizon + 1,
-		Items:       make([]Item, total),
-		Interner:    s.Interner,
-		maxRuns:     s.maxRuns,
-		parallelism: s.parallelism,
+		Adversary:     adv,
+		InputDomain:   s.InputDomain,
+		Horizon:       s.Horizon + 1,
+		Items:         make([]Item, total),
+		Interner:      s.Interner,
+		parentOffsets: offsets,
+		maxRuns:       s.maxRuns,
+		parallelism:   s.parallelism,
 	}
 	err := forEachChunk(ctx, len(s.Items), s.parallelism, func(lo, hi int) error {
 		for i := lo; i < hi; i++ {
 			parent := &s.Items[i]
-			for j, g := range adv.Choices(parent.State) {
+			for j, g := range choices[i] {
 				views := parent.Views.Clone()
 				views.Extend(g)
 				state := adv.Step(parent.State, g)

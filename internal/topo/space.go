@@ -55,6 +55,12 @@ type Space struct {
 	indexOnce sync.Once
 	index     map[string]int // run key -> item index, built lazily by Find
 
+	// parentOffsets links a space produced by extendOne to its parent:
+	// the children of parent item i occupy [parentOffsets[i],
+	// parentOffsets[i+1]). It is nil on spaces built from scratch and is
+	// what Decomposition.Refine seeds the child partition from.
+	parentOffsets []int
+
 	maxRuns     int // size cap inherited by Extend
 	parallelism int // worker count inherited by Extend / DecomposeCtx
 }

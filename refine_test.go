@@ -1,0 +1,105 @@
+package topocon_test
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"topocon"
+)
+
+// TestRefineMatchesDecompose extends the incremental-decomposition
+// invariant suite (internal/topo runs it over the seed families) to the
+// full scenarios/ corpus: for every spec, refining the horizon-t partition
+// into the one-round extension must equal the from-scratch decomposition
+// at t+1 — same partition, valences, broadcasters and uniform inputs — on
+// both the sequential and the worker-pool path, at every horizon of the
+// spec's own analysis budget.
+func TestRefineMatchesDecompose(t *testing.T) {
+	files, err := filepath.Glob("scenarios/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 8 {
+		t.Fatalf("scenario corpus has %d specs, want >= 8", len(files))
+	}
+	ctx := context.Background()
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			sc, err := topocon.LoadScenario(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			domain := sc.Options.InputDomain
+			if domain == 0 {
+				domain = 2
+			}
+			maxHorizon := sc.Options.MaxHorizon
+			if maxHorizon == 0 {
+				maxHorizon = 5
+			}
+			for _, parallelism := range []int{1, 4} {
+				s, err := topocon.BuildSpaceCtx(ctx, sc.Adversary, domain, 1,
+					topocon.SpaceConfig{MaxRuns: sc.Options.MaxRuns, Parallelism: parallelism})
+				if err != nil {
+					t.Fatal(err)
+				}
+				d, err := topocon.DecomposeCtx(ctx, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for horizon := 2; horizon <= maxHorizon; horizon++ {
+					child, err := s.Extend(ctx, horizon)
+					if err != nil {
+						t.Fatalf("Extend to %d: %v", horizon, err)
+					}
+					refined, err := d.Refine(ctx, child)
+					if err != nil {
+						t.Fatalf("Refine to %d (parallelism %d): %v", horizon, parallelism, err)
+					}
+					scratch, err := topocon.DecomposeCtx(ctx, child)
+					if err != nil {
+						t.Fatal(err)
+					}
+					assertSameDecomposition(t, horizon, parallelism, scratch, refined)
+					s, d = child, refined
+				}
+			}
+		})
+	}
+}
+
+func assertSameDecomposition(t *testing.T, horizon, parallelism int, want, got *topocon.Decomposition) {
+	t.Helper()
+	if len(want.Comps) != len(got.Comps) {
+		t.Fatalf("horizon %d parallelism %d: %d components, refine found %d",
+			horizon, parallelism, len(want.Comps), len(got.Comps))
+	}
+	for i := range want.CompOf {
+		if want.CompOf[i] != got.CompOf[i] {
+			t.Fatalf("horizon %d parallelism %d item %d: component %d vs %d",
+				horizon, parallelism, i, want.CompOf[i], got.CompOf[i])
+		}
+	}
+	for ci := range want.Comps {
+		w, g := &want.Comps[ci], &got.Comps[ci]
+		if !equalInts(w.Members, g.Members) || !equalInts(w.Valences, g.Valences) ||
+			w.Broadcasters != g.Broadcasters || w.UniformInputs != g.UniformInputs {
+			t.Fatalf("horizon %d parallelism %d component %d differs:\nscratch %+v\nrefined %+v",
+				horizon, parallelism, ci, w, g)
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -240,7 +240,10 @@ var (
 	BuildSpaceCtx = topo.BuildCtx
 	// Decompose computes the ε-approximation components.
 	Decompose = topo.Decompose
-	// DecomposeCtx is Decompose with cancellation and worker-pool support.
+	// DecomposeCtx is Decompose with cancellation and worker-pool support;
+	// refine its result into the next horizon with Decomposition.Refine
+	// instead of re-decomposing from scratch (components only ever split
+	// under the refinement invariant).
 	DecomposeCtx = topo.DecomposeCtx
 	// CrossDecisionLevel measures a fixed algorithm's decision-set
 	// separation over a space (Corollary 6.1).
@@ -291,6 +294,11 @@ var (
 	// WithParallelism spreads frontier expansion and decomposition over a
 	// worker pool.
 	WithParallelism = check.WithParallelism
+	// WithRetainSpaces bounds session memory: keep the k deepest prefix
+	// spaces plus, always, the separation-horizon space; evicted horizons
+	// return nil from SpaceAt. Default 1 (deepest + separation); 0 retains
+	// every horizon.
+	WithRetainSpaces = check.WithRetainSpaces
 	// WithProgress registers a per-horizon progress callback.
 	WithProgress = check.WithProgress
 	// WithCheckOptions bulk-applies a CheckOptions struct.

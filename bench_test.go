@@ -272,8 +272,9 @@ func BenchmarkAblationSpaceBuild(b *testing.B) {
 const benchMaxHorizon = 7
 
 // BenchmarkBuildFromScratch is the pre-session checker loop: every horizon
-// re-enumerates the exponential prefix space from the root and recomputes
-// every view.
+// builds its prefix space independently — with a fresh interner, so every
+// view of every horizon is re-interned from nothing — and decomposes it
+// from scratch.
 func BenchmarkBuildFromScratch(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -289,9 +290,13 @@ func BenchmarkBuildFromScratch(b *testing.B) {
 }
 
 // BenchmarkAnalyzerIncremental is the session path: one Analyzer extends
-// the frontier round by round, cloning parent views and computing a single
-// new view row per run. Track the ratio to BenchmarkBuildFromScratch in the
-// perf trajectory; the redesign's acceptance floor is 2×.
+// the columnar frontier round by round — computing a single new view row
+// per run straight into the child space's dense columns — and refines each
+// horizon's decomposition from the previous partition. Track the ratio to
+// BenchmarkBuildFromScratch in the perf trajectory (BENCH_PR4.json records
+// it per PR); the columnar-layout acceptance floor against the PR 3
+// array-of-structs baseline (1.16 ms/op, 12908 allocs/op ≈ 12.7 per
+// extended item on this workload) is 2× wall and 4× allocs per item.
 func BenchmarkAnalyzerIncremental(b *testing.B) {
 	b.ReportAllocs()
 	ctx := context.Background()
@@ -313,6 +318,30 @@ func BenchmarkAnalyzerIncremental(b *testing.B) {
 		if an.Horizon() != benchMaxHorizon {
 			b.Fatalf("stopped at horizon %d", an.Horizon())
 		}
+	}
+}
+
+// BenchmarkExtendColumnar isolates the frontier-expansion cost of the
+// columnar layout: a fresh horizon-1 space (fresh interner) is extended to
+// benchMaxHorizon with no decomposition, so ns/op and allocs/op measure
+// extendOne alone — the loop the structure-of-arrays rework targets. The
+// extended-item count per iteration is Σ_{t=2..7} 4·2^t = 1008, putting the
+// per-item allocation cost in direct view.
+func BenchmarkExtendColumnar(b *testing.B) {
+	b.ReportAllocs()
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		s, err := topocon.BuildSpace(topocon.LossyLink2(), 2, 1, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s, err = s.Extend(ctx, benchMaxHorizon); err != nil {
+			b.Fatal(err)
+		}
+		if s.Len() != 4*1<<benchMaxHorizon {
+			b.Fatalf("space size %d", s.Len())
+		}
+		sinkInt = s.Len()
 	}
 }
 
@@ -415,7 +444,7 @@ func bfsComponents(s *topo.Space) int {
 	visited := make([]bool, n)
 	related := func(i, j int) bool {
 		for p := 0; p < s.N(); p++ {
-			if s.Items[i].Views.ID(s.Horizon, p) == s.Items[j].Views.ID(s.Horizon, p) {
+			if s.ViewAt(i, p) == s.ViewAt(j, p) {
 				return true
 			}
 		}

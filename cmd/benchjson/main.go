@@ -1,0 +1,164 @@
+// Command benchjson converts `go test -bench` output into a machine-readable
+// JSON document, so the perf trajectory of the hot paths (extension,
+// refinement, decomposition) can be tracked across PRs by tooling instead of
+// eyeballs.
+//
+// Usage:
+//
+//	go test -run xxx -bench . -benchmem ./... | benchjson -o BENCH.json
+//	benchjson -o BENCH.json bench-output.txt
+//
+// Input is read from the file arguments, or stdin when none are given. Lines
+// that are not benchmark results (build noise, PASS/ok trailers) are ignored;
+// context lines (goos/goarch/pkg/cpu) are captured into the header and
+// attached to the results that follow them. Exits non-zero if no benchmark
+// line was found — a smoke guard against silently-empty perf artifacts.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	// Name is the full benchmark name including sub-benchmark path and
+	// GOMAXPROCS suffix, e.g. "BenchmarkRefineVsDecompose/refine-8".
+	Name string `json:"name"`
+	// Pkg is the package the benchmark ran in, from the preceding "pkg:"
+	// context line (empty if none was seen).
+	Pkg string `json:"pkg,omitempty"`
+	// Iterations is b.N of the measured run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the wall-clock cost per operation in nanoseconds.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present when -benchmem was on.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Document is the emitted JSON artifact.
+type Document struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var in io.Reader
+	if flag.NArg() == 0 {
+		in = os.Stdin
+	} else {
+		readers := make([]io.Reader, 0, flag.NArg())
+		for _, path := range flag.Args() {
+			f, err := os.Open(path)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			readers = append(readers, f)
+		}
+		in = io.MultiReader(readers...)
+	}
+
+	doc, err := parse(in)
+	if err != nil {
+		fail(err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fail(fmt.Errorf("no benchmark results found in input"))
+	}
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+// parse scans `go test -bench` output: context lines set the header fields,
+// "Benchmark..." lines become Results.
+func parse(r io.Reader) (*Document, error) {
+	doc := &Document{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok := parseBenchLine(line)
+			if !ok {
+				continue
+			}
+			res.Pkg = pkg
+			doc.Benchmarks = append(doc.Benchmarks, res)
+		}
+	}
+	return doc, sc.Err()
+}
+
+// parseBenchLine parses one result line of the standard form
+//
+//	BenchmarkName-8  	 100	  123456 ns/op	  4567 B/op	   89 allocs/op
+//
+// Unparseable lines are skipped (ok = false) rather than fatal: `-bench`
+// output can interleave with log lines from the benchmarks themselves.
+func parseBenchLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || fields[3] != "ns/op" {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	ns, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: fields[0], Iterations: iters, NsPerOp: ns}
+	for i := 4; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "B/op":
+			res.BytesPerOp = &v
+		case "allocs/op":
+			res.AllocsPerOp = &v
+		}
+	}
+	return res, true
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: topocon
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkBuildFromScratch    	      20	    896750 ns/op	  851539 B/op	    4706 allocs/op
+BenchmarkAnalyzerIncremental 	      20	    416840 ns/op	  448752 B/op	    1571 allocs/op
+BenchmarkRefineVsDecompose/refine            	      20	     78006 ns/op	  119502 B/op	     601 allocs/op
+PASS
+ok  	topocon	0.040s
+pkg: topocon/internal/ma
+BenchmarkIntersectOverhead/base-8	 1000	  1234.5 ns/op
+some stray log line
+ok  	topocon/internal/ma	0.100s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || !strings.Contains(doc.CPU, "Xeon") {
+		t.Errorf("header = %q/%q/%q", doc.Goos, doc.Goarch, doc.CPU)
+	}
+	if len(doc.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[1]
+	if b.Name != "BenchmarkAnalyzerIncremental" || b.Pkg != "topocon" ||
+		b.Iterations != 20 || b.NsPerOp != 416840 {
+		t.Errorf("benchmark 1 = %+v", b)
+	}
+	if b.BytesPerOp == nil || *b.BytesPerOp != 448752 || b.AllocsPerOp == nil || *b.AllocsPerOp != 1571 {
+		t.Errorf("benchmark 1 memory stats = %+v", b)
+	}
+	sub := doc.Benchmarks[2]
+	if sub.Name != "BenchmarkRefineVsDecompose/refine" {
+		t.Errorf("sub-benchmark name = %q", sub.Name)
+	}
+	last := doc.Benchmarks[3]
+	if last.Pkg != "topocon/internal/ma" || last.NsPerOp != 1234.5 {
+		t.Errorf("cross-package benchmark = %+v", last)
+	}
+	if last.BytesPerOp != nil || last.AllocsPerOp != nil {
+		t.Errorf("benchmark without -benchmem carries memory stats: %+v", last)
+	}
+}
+
+func TestParseRejectsNothing(t *testing.T) {
+	doc, err := parse(strings.NewReader("PASS\nok x 1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 0 {
+		t.Errorf("parsed %d benchmarks from noise", len(doc.Benchmarks))
+	}
+}

@@ -152,8 +152,8 @@ func e4() {
 	}
 	fmt.Println("| run | decision rounds (p1,p2) | values |")
 	fmt.Println("|---|---|---|")
-	for i := range res.Space.Items {
-		fmt.Printf("| %v | %d,%d | %d,%d |\n", res.Space.Items[i].Run,
+	for i := 0; i < res.Space.Len(); i++ {
+		fmt.Printf("| %v | %d,%d | %d,%d |\n", res.Space.RunOf(i),
 			times[i][0], times[i][1], values[i][0], values[i][1])
 	}
 }

@@ -61,7 +61,7 @@ func components() {
 		c := &d.Comps[ci]
 		fmt.Printf("component %d (valences %v):\n", ci, c.Valences)
 		for _, i := range c.Members {
-			fmt.Printf("  %v\n", s.Items[i].Run)
+			fmt.Printf("  %v\n", s.RunOf(i))
 		}
 	}
 	fmt.Println()

@@ -427,21 +427,21 @@ func (a *Analyzer) finalizeNonCompact() {
 	for p := range candidates {
 		candidates[p] = true
 	}
-	for i := range s.Items {
-		item := &s.Items[i]
-		if item.DoneAt < 0 {
+	for i := 0; i < s.Len(); i++ {
+		doneAt := s.DoneAt(i)
+		if doneAt < 0 {
 			continue
 		}
 		discharged++
-		if item.DoneAt > t-a.opts.LatencySlack {
+		if doneAt > t-a.opts.LatencySlack {
 			continue
 		}
 		witnesses++
-		deadline := item.DoneAt + a.opts.LatencySlack
+		deadline := doneAt + a.opts.LatencySlack
 		if deadline > t {
 			deadline = t
 		}
-		heard := item.Views.HeardByAll(deadline)
+		heard := s.HeardByAllAt(i, deadline)
 		for p := 0; p < n; p++ {
 			if candidates[p] && heard&(1<<uint(p)) == 0 {
 				candidates[p] = false
@@ -487,11 +487,12 @@ func (a *Analyzer) finalizeNonCompact() {
 	res.Rule = rule
 
 	// Measure decision latency of the broadcast rule over Done items.
-	for i := range s.Items {
-		item := &s.Items[i]
-		if item.DoneAt < 0 || item.DoneAt > t-a.opts.LatencySlack {
+	for i := 0; i < s.Len(); i++ {
+		doneAt := s.DoneAt(i)
+		if doneAt < 0 || doneAt > t-a.opts.LatencySlack {
 			continue
 		}
+		item := s.Item(i)
 		last := 0
 		for p := 0; p < n; p++ {
 			decided := false
@@ -508,7 +509,7 @@ func (a *Analyzer) finalizeNonCompact() {
 				res.PendingUndecided = true
 			}
 		}
-		latency := last - item.DoneAt
+		latency := last - doneAt
 		if latency < 0 {
 			latency = 0 // decided before the obligation discharged
 		}

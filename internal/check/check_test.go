@@ -36,8 +36,8 @@ func TestLossyLink2Solvable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := range res.Space.Items {
-		item := &res.Space.Items[i]
+	for i := 0; i < res.Space.Len(); i++ {
+		item := res.Space.Item(i)
 		var agreed = -1
 		for p := 0; p < 2; p++ {
 			if times[i][p] < 0 || times[i][p] > 1 {
@@ -141,14 +141,14 @@ func TestValenceFreeComponentsDecided(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := range res.Space.Items {
+	for i := 0; i < res.Space.Len(); i++ {
 		for p := 0; p < 2; p++ {
 			if times[i][p] < 0 {
-				t.Errorf("run %v: process %d undecided", res.Space.Items[i].Run, p+1)
+				t.Errorf("run %v: process %d undecided", res.Space.RunOf(i), p+1)
 			}
 		}
-		if v, ok := res.Space.Items[i].Run.IsValent(); ok && values[i][0] != v {
-			t.Errorf("run %v: validity violated", res.Space.Items[i].Run)
+		if v, ok := res.Space.RunOf(i).IsValent(); ok && values[i][0] != v {
+			t.Errorf("run %v: validity violated", res.Space.RunOf(i))
 		}
 	}
 }
@@ -259,8 +259,8 @@ func TestDecisionMapAgreementValidityProperties(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for i := range res.Space.Items {
-			item := &res.Space.Items[i]
+		for i := 0; i < res.Space.Len(); i++ {
+			item := res.Space.Item(i)
 			for p := 0; p < 2; p++ {
 				if times[i][p] < 0 {
 					t.Errorf("%s: run %v process %d undecided", adv.Name(), item.Run, p+1)
@@ -369,8 +369,8 @@ func TestLargerInputDomain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := range res.Space.Items {
-		item := &res.Space.Items[i]
+	for i := 0; i < res.Space.Len(); i++ {
+		item := res.Space.Item(i)
 		if times[i][0] < 0 || times[i][1] < 0 {
 			t.Errorf("run %v undecided", item.Run)
 			continue

@@ -64,7 +64,7 @@ func BuildDecisionMap(d *topo.Decomposition, defaultValue int) *DecisionMap {
 		interner:   s.Interner,
 		reference:  s.Horizon,
 		domain:     s.InputDomain,
-		decide:     make(map[ptg.ViewID]int, len(s.Items)),
+		decide:     make(map[ptg.ViewID]int, s.Len()),
 		assignment: make([]int, len(d.Comps)),
 	}
 	for ci := range d.Comps {
@@ -78,7 +78,7 @@ func BuildDecisionMap(d *topo.Decomposition, defaultValue int) *DecisionMap {
 					bc >>= 1
 					p++
 				}
-				m.assignment[ci] = s.Items[c.Members[0]].Run.Inputs[p]
+				m.assignment[ci] = s.Inputs(c.Members[0])[p]
 			}
 		case 1:
 			m.assignment[ci] = c.Valences[0]
@@ -93,10 +93,10 @@ func BuildDecisionMap(d *topo.Decomposition, defaultValue int) *DecisionMap {
 		value    int
 		decisive bool
 	}
-	buckets := make(map[ptg.ViewID]bucket, len(s.Items)*s.N())
-	for i := range s.Items {
+	buckets := make(map[ptg.ViewID]bucket, s.Len()*s.N())
+	for i := 0; i < s.Len(); i++ {
 		v := m.assignment[d.CompOf[i]]
-		views := s.Items[i].Views
+		views := s.ViewsOf(i)
 		for t := 0; t <= s.Horizon; t++ {
 			for p := 0; p < s.N(); p++ {
 				id := views.ID(t, p)
@@ -146,16 +146,17 @@ func (m *DecisionMap) DecisionRounds(s *topo.Space) ([][]int, [][]int, error) {
 		return nil, nil, fmt.Errorf("check: space and decision map use different interners")
 	}
 	n := s.N()
-	times := make([][]int, len(s.Items))
-	values := make([][]int, len(s.Items))
-	for i := range s.Items {
+	times := make([][]int, s.Len())
+	values := make([][]int, s.Len())
+	for i := 0; i < s.Len(); i++ {
 		times[i] = make([]int, n)
 		values[i] = make([]int, n)
+		views := s.ViewsOf(i)
 		for p := 0; p < n; p++ {
 			times[i][p] = -1
 			values[i][p] = -1
 			for t := 0; t <= s.Horizon && t <= m.reference; t++ {
-				if v, ok := m.decide[s.Items[i].Views.ID(t, p)]; ok {
+				if v, ok := m.decide[views.ID(t, p)]; ok {
 					times[i][p] = t
 					values[i][p] = v
 					break
@@ -178,18 +179,24 @@ func (m *DecisionMap) CrossAssignmentLevel(d *topo.Decomposition) (int, bool) {
 	if s.Interner != m.interner || len(d.Comps) != len(m.assignment) {
 		return 0, false
 	}
-	best := -1
-	for i := range s.Items {
-		vi := m.assignment[d.CompOf[i]]
-		if vi < 0 {
-			continue
+	// Materialize each assigned item's Views adapter once; the pair scan
+	// then touches only shared row headers.
+	idx := make([]int, 0, s.Len())
+	views := make([]*ptg.Views, 0, s.Len())
+	for i := 0; i < s.Len(); i++ {
+		if m.assignment[d.CompOf[i]] >= 0 {
+			idx = append(idx, i)
+			views = append(views, s.ViewsOf(i))
 		}
-		for j := i + 1; j < len(s.Items); j++ {
-			vj := m.assignment[d.CompOf[j]]
-			if vj < 0 || vj == vi {
+	}
+	best := -1
+	for a := range idx {
+		vi := m.assignment[d.CompOf[idx[a]]]
+		for b := a + 1; b < len(idx); b++ {
+			if vj := m.assignment[d.CompOf[idx[b]]]; vj == vi {
 				continue
 			}
-			if l := ptg.MinAgreeLevel(s.Items[i].Views, s.Items[j].Views); l > best {
+			if l := ptg.MinAgreeLevel(views[a], views[b]); l > best {
 				best = l
 			}
 		}
@@ -218,18 +225,22 @@ func CrossDecisionLevel(m *DecisionMap, s *topo.Space) (int, bool, error) {
 	if err != nil {
 		return 0, false, err
 	}
-	best := -1
-	for i := range s.Items {
-		vi := values[i][0]
-		if vi < 0 {
-			continue
+	idx := make([]int, 0, s.Len())
+	views := make([]*ptg.Views, 0, s.Len())
+	for i := 0; i < s.Len(); i++ {
+		if values[i][0] >= 0 {
+			idx = append(idx, i)
+			views = append(views, s.ViewsOf(i))
 		}
-		for j := i + 1; j < len(s.Items); j++ {
-			vj := values[j][0]
-			if vj < 0 || vj == vi {
+	}
+	best := -1
+	for a := range idx {
+		vi := values[idx[a]][0]
+		for b := a + 1; b < len(idx); b++ {
+			if values[idx[b]][0] == vi {
 				continue
 			}
-			if l := ptg.MinAgreeLevel(s.Items[i].Views, s.Items[j].Views); l > best {
+			if l := ptg.MinAgreeLevel(views[a], views[b]); l > best {
 				best = l
 			}
 		}

@@ -2,6 +2,7 @@ package ptg
 
 import (
 	"fmt"
+	"sort"
 
 	"topocon/internal/graph"
 )
@@ -42,18 +43,24 @@ func ComputeViews(in *Interner, r Run) *Views {
 	return v
 }
 
-// Clone returns a Views that shares all computed rows with v but can be
-// extended independently. Rows are immutable once computed, so sharing them
-// is safe; cloning is O(Rounds) slice headers, not O(Rounds·n) views. This
-// is what makes incremental prefix-space extension cheap: every child run
-// of a horizon-t prefix clones the parent's views and computes only the one
-// new row.
-func (v *Views) Clone() *Views {
+// ViewsFromRows assembles a Views from externally-owned per-time rows —
+// the adapter the columnar prefix-space frontier in internal/topo hands out:
+// each row aliases a segment of a dense per-round column, so materializing
+// the Views of one run costs O(Rounds) slice headers and copies nothing.
+// ids[t][p] must be the ViewID of process p at time t in the given
+// interner, and heard its matching heard-bitmask row; rows must never be
+// mutated afterwards (they may be shared with other runs). The result
+// supports the full read API; Extend appends fresh rows and leaves the
+// aliased ones untouched.
+func ViewsFromRows(in *Interner, ids [][]ViewID, heard [][]uint64) *Views {
+	if len(ids) == 0 || len(ids) != len(heard) {
+		panic("ptg: ViewsFromRows needs matching non-empty id and heard rows")
+	}
 	return &Views{
-		interner: v.interner,
-		n:        v.n,
-		ids:      append(make([][]ViewID, 0, len(v.ids)+1), v.ids...),
-		heard:    append(make([][]uint64, 0, len(v.heard)+1), v.heard...),
+		interner: in,
+		n:        len(ids[0]),
+		ids:      ids,
+		heard:    heard,
 	}
 }
 
@@ -104,22 +111,23 @@ func (v *Views) Extend(g graph.Graph) {
 
 // BroadcastTime returns the earliest time t ≤ Rounds() by which every
 // process has heard p, or -1 if no such time exists within the prefix.
-// Heard-sets only grow, so the first such t is well-defined.
+// Heard-sets only grow, so "every process has heard p by t" is monotone in
+// t and the first such t is found by binary search instead of a scan from
+// t = 0 — O(n log Rounds) instead of O(n·Rounds) per call.
 func (v *Views) BroadcastTime(p int) int {
 	bit := uint64(1) << uint(p)
-	for t := 0; t <= v.Rounds(); t++ {
-		all := true
+	t := sort.Search(v.Rounds()+1, func(t int) bool {
 		for q := 0; q < v.n; q++ {
 			if v.heard[t][q]&bit == 0 {
-				all = false
-				break
+				return false
 			}
 		}
-		if all {
-			return t
-		}
+		return true
+	})
+	if t > v.Rounds() {
+		return -1
 	}
-	return -1
+	return t
 }
 
 // HeardByAll returns the bitmask of processes p such that every process has

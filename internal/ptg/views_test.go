@@ -170,6 +170,40 @@ func TestBroadcastTime(t *testing.T) {
 	}
 }
 
+// TestBroadcastTimeMatchesLinearScan pins the binary-search BroadcastTime
+// against the reference linear scan from t = 0: heard-set monotonicity makes
+// the two equivalent, and this test keeps that equivalence enforced.
+func TestBroadcastTimeMatchesLinearScan(t *testing.T) {
+	linear := func(v *Views, p int) int {
+		bit := uint64(1) << uint(p)
+		for tt := 0; tt <= v.Rounds(); tt++ {
+			all := true
+			for q := 0; q < v.N(); q++ {
+				if v.Heard(tt, q)&bit == 0 {
+					all = false
+					break
+				}
+			}
+			if all {
+				return tt
+			}
+		}
+		return -1
+	}
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 300; iter++ {
+		n := 2 + rng.Intn(3)
+		rounds := rng.Intn(7)
+		v := ComputeViews(NewInterner(), runFromSeed(rng, n, rounds, 2))
+		for p := 0; p < n; p++ {
+			if got, want := v.BroadcastTime(p), linear(v, p); got != want {
+				t.Fatalf("n=%d rounds=%d p=%d: BroadcastTime = %d, linear scan = %d",
+					n, rounds, p, got, want)
+			}
+		}
+	}
+}
+
 func TestHeardByAll(t *testing.T) {
 	r := NewRun([]int{0, 1}).Extend(graph.Right) // 1 -> 2
 	v := ComputeViews(NewInterner(), r)

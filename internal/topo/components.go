@@ -2,6 +2,7 @@ package topo
 
 import (
 	"context"
+	"fmt"
 	"math/bits"
 	"sort"
 	"sync"
@@ -62,35 +63,45 @@ func Decompose(s *Space) *Decomposition {
 // DecomposeCtx is Decompose under a context: it returns ctx.Err() on
 // cancellation, and spreads the view-bucket scan and the per-component
 // summaries over the space's worker pool when its parallelism is > 1. The
-// resulting partition is identical to the sequential one: workers scan
-// disjoint item ranges into local bucket tables (recording in-range unions
-// as edges, since the union-find is not concurrency-safe), and a
-// sequential merge closes the relation across ranges — the transitive
-// closure does not depend on the order unions are applied.
+// scan reads the horizon's ViewID column directly — no per-item view
+// objects are touched. The resulting partition is identical to the
+// sequential one: workers scan disjoint item ranges into local bucket
+// tables (recording in-range unions as edges, since the union-find is not
+// concurrency-safe), and a sequential merge closes the relation across
+// ranges — the transitive closure does not depend on the order unions are
+// applied.
 func DecomposeCtx(ctx context.Context, s *Space) (*Decomposition, error) {
-	u := uf.New(len(s.Items))
+	u := uf.New(s.Len())
 	// Bucket runs by hash-consed view ID; every bucket is a clique in the
 	// indistinguishability relation, so unioning each member to the
 	// bucket's first suffices. View IDs encode the owning process, so a
 	// single bucket table over all processes is sound.
-	t := s.Horizon
+	n := s.N()
+	ids := s.fr.ids
+	count := s.Len()
 	if s.parallelism <= 1 {
-		// Sequential fast path: one bucket table, unions applied inline.
-		buckets := make(map[ptg.ViewID]int, len(s.Items)*s.N())
-		for i := range s.Items {
+		// Sequential fast path: interned IDs are dense, so a pooled
+		// epoch-stamped array (shared with Refine) replaces the hash map.
+		sc := refineScratchPool.Get().(*refineScratch)
+		sc.acquire(s.Interner.Size(), 1)
+		sc.epoch++
+		epoch := sc.epoch
+		stamp, firstOf := sc.stamp, sc.firstOf
+		for i := 0; i < count; i++ {
 			if i%cancelCheckInterval == 0 && ctx.Err() != nil {
+				refineScratchPool.Put(sc)
 				return nil, ctx.Err()
 			}
-			views := s.Items[i].Views
-			for p := 0; p < s.N(); p++ {
-				id := views.ID(t, p)
-				if first, ok := buckets[id]; ok {
-					u.Union(first, i)
+			for _, id := range ids[i*n : (i+1)*n] {
+				if stamp[id] == epoch {
+					u.Union(int(firstOf[id]), i)
 				} else {
-					buckets[id] = i
+					stamp[id] = epoch
+					firstOf[id] = int32(i)
 				}
 			}
 		}
+		refineScratchPool.Put(sc)
 	} else {
 		type scan struct {
 			reps  map[ptg.ViewID]int // view id -> first in-range item
@@ -100,12 +111,10 @@ func DecomposeCtx(ctx context.Context, s *Space) (*Decomposition, error) {
 			scans   []scan
 			scansMu sync.Mutex
 		)
-		err := forEachChunk(ctx, len(s.Items), s.parallelism, func(lo, hi int) error {
-			sc := scan{reps: make(map[ptg.ViewID]int, (hi-lo)*s.N())}
+		err := forEachChunk(ctx, count, s.parallelism, func(lo, hi int) error {
+			sc := scan{reps: make(map[ptg.ViewID]int, (hi-lo)*n)}
 			for i := lo; i < hi; i++ {
-				views := s.Items[i].Views
-				for p := 0; p < s.N(); p++ {
-					id := views.ID(t, p)
+				for _, id := range ids[i*n : (i+1)*n] {
 					if first, ok := sc.reps[id]; ok {
 						if first != i {
 							sc.edges = append(sc.edges, [2]int{first, i})
@@ -123,7 +132,7 @@ func DecomposeCtx(ctx context.Context, s *Space) (*Decomposition, error) {
 		if err != nil {
 			return nil, err
 		}
-		global := make(map[ptg.ViewID]int, len(s.Items)*s.N())
+		global := make(map[ptg.ViewID]int, count*n)
 		for _, sc := range scans {
 			for _, e := range sc.edges {
 				u.Union(e[0], e[1])
@@ -140,7 +149,7 @@ func DecomposeCtx(ctx context.Context, s *Space) (*Decomposition, error) {
 	groups := u.Groups()
 	d := &Decomposition{
 		Space:  s,
-		CompOf: make([]int, len(s.Items)),
+		CompOf: make([]int, count),
 		Comps:  make([]Component, len(groups)),
 	}
 	for ci, members := range groups {
@@ -159,9 +168,11 @@ func DecomposeCtx(ctx context.Context, s *Space) (*Decomposition, error) {
 	return d, nil
 }
 
+// summarize folds a component's summary masks straight off the columns:
+// HeardByAll is a row fold over the heard column, inputs come through the
+// O(1) root-ancestor lookup.
 func summarize(s *Space, members []int) Component {
 	n := s.N()
-	t := s.Horizon
 	full := graph.AllNodes(n)
 	c := Component{
 		Members:       members,
@@ -173,21 +184,21 @@ func summarize(s *Space, members []int) Component {
 	// never fit a prefix-space enumeration anyway) spill into a slice.
 	var vmask uint64
 	var vbig []int
-	first := s.Items[members[0]].Run.Inputs
+	first := s.Inputs(members[0])
 	for _, i := range members {
-		item := &s.Items[i]
-		if v := item.Valence; v >= 0 {
+		if v := s.Valence(i); v >= 0 {
 			if v < 64 {
 				vmask |= 1 << uint(v)
 			} else {
 				vbig = append(vbig, v)
 			}
 		}
-		// A process p stays a broadcaster only if everyone heard it by t
-		// in this run.
-		c.Broadcasters &= item.Views.HeardByAll(t)
+		// A process p stays a broadcaster only if everyone heard it by the
+		// horizon in this run.
+		c.Broadcasters &= s.HeardByAll(i)
+		in := s.Inputs(i)
 		for p := 0; p < n; p++ {
-			if item.Run.Inputs[p] != first[p] {
+			if in[p] != first[p] {
 				c.UniformInputs &^= 1 << uint(p)
 			}
 		}
@@ -252,33 +263,75 @@ func (d *Decomposition) ValentComponentsBroadcastable() bool {
 // decision-relevant regions is 2^-L. It returns 0 if there are no such
 // pairs (then the second return is false).
 //
+// The O(|S|²) pair scan is pre-filtered and parallelized: each component's
+// valence set is canonicalized to a small signature id, items in
+// valence-free components are dropped up front, a pair whose components
+// share a signature is skipped on an integer compare — before any view is
+// touched — and the surviving pairs are spread over the space's worker
+// pool, with each item's Views adapter materialized exactly once.
+//
 // For compact solvable adversaries this level stays bounded as the horizon
 // grows (Fig. 4: decision sets have positive distance); for non-compact
 // adversaries it grows without bound (Fig. 5: distance-0 limits).
 func (d *Decomposition) CrossValenceLevel() (int, bool) {
 	s := d.Space
-	// Label each item with the valence set of its component; compare
-	// items whose component valences differ.
-	best := -1
-	for i := range s.Items {
-		ci := d.CompOf[i]
-		if len(d.Comps[ci].Valences) == 0 {
+	sig := make([]int32, len(d.Comps))
+	sigIDs := make(map[string]int32)
+	for ci := range d.Comps {
+		vs := d.Comps[ci].Valences
+		if len(vs) == 0 {
+			sig[ci] = -1
 			continue
 		}
-		for j := i + 1; j < len(s.Items); j++ {
-			cj := d.CompOf[j]
-			if len(d.Comps[cj].Valences) == 0 || ci == cj {
-				continue
-			}
-			if sameInts(d.Comps[ci].Valences, d.Comps[cj].Valences) {
-				continue
-			}
-			l := ptg.MinAgreeLevel(s.Items[i].Views, s.Items[j].Views)
-			if l > best {
-				best = l
-			}
+		key := fmt.Sprint(vs)
+		id, ok := sigIDs[key]
+		if !ok {
+			id = int32(len(sigIDs))
+			sigIDs[key] = id
+		}
+		sig[ci] = id
+	}
+	if len(sigIDs) < 2 {
+		// All valent components carry the same valence set: no pair can
+		// differ, and no view needs materializing.
+		return 0, false
+	}
+	var items []int
+	for i := 0; i < s.Len(); i++ {
+		if sig[d.CompOf[i]] >= 0 {
+			items = append(items, i)
 		}
 	}
+	views := make([]*ptg.Views, len(items))
+	for k, i := range items {
+		views[k] = s.ViewsOf(i)
+	}
+	best := -1
+	var mu sync.Mutex
+	// The background context never cancels and the workers never error, so
+	// the pool's error return is vacuous here.
+	_ = forEachChunk(context.Background(), len(items), s.parallelism, func(lo, hi int) error {
+		local := -1
+		for a := lo; a < hi; a++ {
+			ca := d.CompOf[items[a]]
+			sa := sig[ca]
+			for b := a + 1; b < len(items); b++ {
+				cb := d.CompOf[items[b]]
+				if cb == ca || sig[cb] == sa {
+					continue
+				}
+				if l := ptg.MinAgreeLevel(views[a], views[b]); l > local {
+					local = l
+				}
+			}
+		}
+		mu.Lock()
+		if local > best {
+			best = local
+		}
+		mu.Unlock()
+		return nil
+	})
 	if best < 0 {
 		return 0, false
 	}
@@ -310,11 +363,14 @@ func (d *Decomposition) DiameterLevel(ci int) (int, bool) {
 		return 0, false
 	}
 	s := d.Space
+	views := make([]*ptg.Views, len(members))
+	for a, i := range members {
+		views[a] = s.ViewsOf(i)
+	}
 	worst := -1
 	for a := 0; a < len(members); a++ {
-		va := s.Items[members[a]].Views
 		for b := a + 1; b < len(members); b++ {
-			l := ptg.MinAgreeLevel(va, s.Items[members[b]].Views)
+			l := ptg.MinAgreeLevel(views[a], views[b])
 			if worst < 0 || l < worst {
 				worst = l
 			}

@@ -3,16 +3,20 @@ package topo
 import (
 	"context"
 	"fmt"
+	"math/bits"
 
 	"topocon/internal/graph"
+	"topocon/internal/ma"
+	"topocon/internal/ptg"
 )
 
 // Extend returns the prefix space at the given (strictly larger) horizon by
 // extending this space's runs round by round, instead of re-enumerating the
 // exponential space from the root. Each round reuses
 //
-//   - the horizon-t items: a child run clones its parent's hash-consed
-//     views (O(1) per computed row) and computes only the one new row;
+//   - the horizon-t frontier: a child only computes its one new view row,
+//     written straight into the child space's dense columns; all earlier
+//     rounds are reached through the frontier chain, shared, never copied;
 //   - the adversary automaton states: children step the parent's stored
 //     state, so prefix admissibility is never re-derived;
 //   - the shared Interner, keeping views comparable across all horizons.
@@ -43,54 +47,99 @@ func (s *Space) Extend(ctx context.Context, horizon int) (*Space, error) {
 	return cur, nil
 }
 
-// extendOne builds the horizon+1 space from s.
+// extendOne builds the horizon+1 space from s. The per-child cost is the
+// core of the checker's wall clock: one interned view row, one automaton
+// step, and column writes — no Views clone, no Run copy, no per-child
+// allocation (pinned by TestExtendAllocsPerChild).
 func (s *Space) extendOne(ctx context.Context) (*Space, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	adv := s.Adversary
+	nParents := s.Len()
 	// Lay out child slots with a prefix sum over per-parent branching, so
 	// workers write disjoint, deterministic ranges. The per-parent choice
 	// slices are kept for the worker loop below: Choices is part of the
 	// adversary contract, not guaranteed to be cheap — allocating
 	// implementations (product automata, filters) would otherwise pay for
 	// every parent twice.
-	choices := make([][]graph.Graph, len(s.Items))
-	offsets := make([]int, len(s.Items)+1)
-	for i := range s.Items {
-		choices[i] = adv.Choices(s.Items[i].State)
+	choices := make([][]graph.Graph, nParents)
+	offsets := make([]int, nParents+1)
+	for i := 0; i < nParents; i++ {
+		choices[i] = adv.Choices(s.states[i])
 		offsets[i+1] = offsets[i] + len(choices[i])
 	}
-	total := offsets[len(s.Items)]
+	total := offsets[nParents]
 	if total > s.maxRuns {
 		return nil, fmt.Errorf("topo: space has %d runs, exceeding cap %d", total, s.maxRuns)
+	}
+	n := s.fr.n
+	nf := &frontier{
+		horizon:  s.Horizon + 1,
+		n:        n,
+		count:    total,
+		ids:      make([]ptg.ViewID, total*n),
+		heard:    make([]uint64, total*n),
+		gs:       make([]graph.Graph, total),
+		parentOf: make([]int32, total),
+		rootOf:   make([]int32, total),
+		prev:     s.fr,
+		base:     s.fr.base,
 	}
 	next := &Space{
 		Adversary:     adv,
 		InputDomain:   s.InputDomain,
 		Horizon:       s.Horizon + 1,
-		Items:         make([]Item, total),
 		Interner:      s.Interner,
+		fr:            nf,
+		states:        make([]ma.State, total),
+		doneAt:        make([]int32, total),
+		valence:       make([]int32, total),
 		parentOffsets: offsets,
 		maxRuns:       s.maxRuns,
 		parallelism:   s.parallelism,
 	}
-	err := forEachChunk(ctx, len(s.Items), s.parallelism, func(lo, hi int) error {
+	interner := s.Interner
+	err := forEachChunk(ctx, nParents, s.parallelism, func(lo, hi int) error {
+		// Per-worker scratch for the in-neighbour pair lists; reused across
+		// every child of the chunk, so the per-child allocation count is 0.
+		qs := make([]int, 0, n)
+		children := make([]ptg.ViewID, 0, n)
 		for i := lo; i < hi; i++ {
-			parent := &s.Items[i]
+			prevIDs := s.fr.idRow(i)
+			prevHeard := s.fr.heardRow(i)
+			pState := s.states[i]
+			pDoneAt := s.doneAt[i]
+			pValence := s.valence[i]
+			pRoot := s.fr.rootOf[i]
 			for j, g := range choices[i] {
-				views := parent.Views.Clone()
-				views.Extend(g)
-				state := adv.Step(parent.State, g)
-				doneAt := parent.DoneAt
+				c := offsets[i] + j
+				dstIDs := nf.ids[c*n : (c+1)*n]
+				dstHeard := nf.heard[c*n : (c+1)*n]
+				for p := 0; p < n; p++ {
+					qs = qs[:0]
+					children = children[:0]
+					var h uint64
+					for m := g.In(p); m != 0; m &= m - 1 {
+						q := bits.TrailingZeros64(m)
+						qs = append(qs, q)
+						children = append(children, prevIDs[q])
+						h |= prevHeard[q]
+					}
+					dstIDs[p] = interner.Node(p, qs, children)
+					dstHeard[p] = h
+				}
+				state := adv.Step(pState, g)
+				doneAt := pDoneAt
 				if doneAt < 0 && adv.Done(state) {
-					doneAt = next.Horizon
+					doneAt = int32(next.Horizon)
 				}
-				next.Items[offsets[i]+j] = Item{
-					Run:     parent.Run.Extend(g),
-					Views:   views,
-					State:   state,
-					Done:    doneAt >= 0,
-					DoneAt:  doneAt,
-					Valence: parent.Valence,
-				}
+				nf.gs[c] = g
+				nf.parentOf[c] = int32(i)
+				nf.rootOf[c] = pRoot
+				next.states[c] = state
+				next.doneAt[c] = doneAt
+				next.valence[c] = pValence
 			}
 		}
 		return nil

@@ -7,6 +7,7 @@ import (
 
 	"topocon/internal/graph"
 	"topocon/internal/ma"
+	"topocon/internal/ptg"
 )
 
 // seedAdversaries returns one adversary per family shipped with the seed:
@@ -50,6 +51,7 @@ func TestExtendMatchesBuild(t *testing.T) {
 				t.Fatalf("%s: Build horizon %d: %v", adv.Name(), horizon, err)
 			}
 			assertSpacesEqual(t, adv.Name(), scratch, inc)
+			assertViewsMatchComputed(t, adv.Name(), scratch)
 			assertDecompositionsEqual(t, adv.Name(), Decompose(scratch), Decompose(inc))
 		}
 	}
@@ -129,8 +131,8 @@ func TestFindConcurrent(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range s.Items {
-				if got := s.Find(s.Items[i].Run); got != i {
+			for i := 0; i < s.Len(); i++ {
+				if got := s.Find(s.RunOf(i)); got != i {
 					t.Errorf("Find(items[%d].Run) = %d", i, got)
 					return
 				}
@@ -185,8 +187,8 @@ func assertSpacesEqual(t *testing.T, name string, want, got *Space) {
 	if want.Len() != got.Len() {
 		t.Fatalf("%s horizon %d: %d items vs %d", name, want.Horizon, want.Len(), got.Len())
 	}
-	for i := range want.Items {
-		w, g := &want.Items[i], &got.Items[i]
+	for i := 0; i < want.Len(); i++ {
+		w, g := want.Item(i), got.Item(i)
 		if w.Run.Key() != g.Run.Key() {
 			t.Fatalf("%s horizon %d item %d: run %v vs %v", name, want.Horizon, i, w.Run, g.Run)
 		}
@@ -201,6 +203,29 @@ func assertSpacesEqual(t *testing.T, name string, want, got *Space) {
 				if w.Views.Heard(tt, p) != g.Views.Heard(tt, p) {
 					t.Fatalf("%s horizon %d item %d: heard(%d,%d) %b vs %b",
 						name, want.Horizon, i, tt, p, w.Views.Heard(tt, p), g.Views.Heard(tt, p))
+				}
+			}
+		}
+	}
+}
+
+// assertViewsMatchComputed pins the columnar frontier against the
+// independent per-run view computation: ptg.ComputeViews re-derives every
+// row through Views.Extend from the materialized run alone, sharing the
+// space's interner so IDs are directly comparable. Since BuildCtx
+// constructs spaces through the same extendOne as Extend, this is the
+// reference that keeps a frontier-expansion bug (wrong heard fold, wrong
+// child encoding) from cancelling out of the Build-vs-Extend comparison.
+func assertViewsMatchComputed(t *testing.T, name string, s *Space) {
+	t.Helper()
+	for i := 0; i < s.Len(); i++ {
+		ref := ptg.ComputeViews(s.Interner, s.RunOf(i))
+		got := s.ViewsOf(i)
+		for tt := 0; tt <= s.Horizon; tt++ {
+			for p := 0; p < s.N(); p++ {
+				if got.ID(tt, p) != ref.ID(tt, p) || got.Heard(tt, p) != ref.Heard(tt, p) {
+					t.Fatalf("%s horizon %d item %d: columnar view (%d, %b) at (t=%d, p=%d) differs from ComputeViews reference (%d, %b)",
+						name, s.Horizon, i, got.ID(tt, p), got.Heard(tt, p), tt, p, ref.ID(tt, p), ref.Heard(tt, p))
 				}
 			}
 		}

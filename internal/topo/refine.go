@@ -93,19 +93,20 @@ func (sc *refineScratch) acquire(size int, epochs int32) {
 func (d *Decomposition) Refine(ctx context.Context, child *Space) (*Decomposition, error) {
 	parent := d.Space
 	if child == nil || child.parentOffsets == nil ||
+		child.fr.prev != parent.fr ||
 		child.Horizon != parent.Horizon+1 ||
-		len(child.parentOffsets) != len(parent.Items)+1 ||
-		child.parentOffsets[len(parent.Items)] != len(child.Items) ||
+		len(child.parentOffsets) != parent.Len()+1 ||
+		child.parentOffsets[parent.Len()] != child.Len() ||
 		child.Interner != parent.Interner {
 		return nil, fmt.Errorf("topo: Refine: child is not a one-round extension of the decomposed horizon-%d space", parent.Horizon)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	nItems := len(child.Items)
+	nItems := child.Len()
 	u := uf.New(nItems)
-	t := child.Horizon
 	n := child.N()
+	ids := child.fr.ids
 	offsets := child.parentOffsets
 	// All child views were interned during the extension, so their IDs are
 	// below the interner size read here.
@@ -125,9 +126,7 @@ func (d *Decomposition) Refine(ctx context.Context, child *Space) (*Decompositio
 				}
 				for i := offsets[pi]; i < offsets[pi+1]; i++ {
 					scanned++
-					views := child.Items[i].Views
-					for p := 0; p < n; p++ {
-						id := views.ID(t, p)
+					for _, id := range ids[i*n : (i+1)*n] {
 						if stamp[id] == epoch {
 							u.Union(int(firstOf[id]), i)
 						} else {
@@ -162,9 +161,7 @@ func (d *Decomposition) Refine(ctx context.Context, child *Space) (*Decompositio
 				epoch := sc.epoch
 				for _, pi := range d.Comps[ci].Members {
 					for i := offsets[pi]; i < offsets[pi+1]; i++ {
-						views := child.Items[i].Views
-						for p := 0; p < n; p++ {
-							id := views.ID(t, p)
+						for _, id := range ids[i*n : (i+1)*n] {
 							if stamp[id] == epoch {
 								if int(firstOf[id]) != i {
 									edges = append(edges, [2]int{int(firstOf[id]), i})
@@ -258,17 +255,16 @@ func (d *Decomposition) Refine(ctx context.Context, child *Space) (*Decompositio
 			var vmask uint64
 			bcCand := full &^ pc.Broadcasters
 			uiCand := full &^ pc.UniformInputs
-			first := child.Items[members[0]].Run.Inputs
+			first := child.Inputs(members[0])
 			for _, i := range members {
-				item := &child.Items[i]
-				if v := item.Valence; v >= 0 {
+				if v := child.Valence(i); v >= 0 {
 					vmask |= 1 << uint(v)
 				}
 				if bcCand != 0 {
-					bcCand &= item.Views.HeardByAll(t)
+					bcCand &= child.HeardByAll(i)
 				}
 				if uiCand != 0 {
-					in := item.Run.Inputs
+					in := child.Inputs(i)
 					for m := uiCand; m != 0; m &= m - 1 {
 						p := bits.TrailingZeros64(m)
 						if in[p] != first[p] {
@@ -300,13 +296,12 @@ func refreshSummary(s *Space, parent *Component, members []int) Component {
 		Valences:      append([]int(nil), parent.Valences...),
 		UniformInputs: parent.UniformInputs,
 	}
-	t := s.Horizon
 	candidates := graph.AllNodes(s.N()) &^ parent.Broadcasters
 	for _, i := range members {
 		if candidates == 0 {
 			break
 		}
-		candidates &= s.Items[i].Views.HeardByAll(t)
+		candidates &= s.HeardByAll(i)
 	}
 	c.Broadcasters = parent.Broadcasters | candidates
 	return c

@@ -13,6 +13,17 @@
 // so the transitive closure of "shares a time-t view with" computes exactly
 // the 2^-t-approximation PS^ε of Definition 6.2, and its classes are the
 // connected components of the horizon-t prefix space.
+//
+// # Memory layout
+//
+// A Space is columnar (structure of arrays): the newest round lives in
+// dense per-space columns — ids and heard of length Len()·n, plus state,
+// doneAt, valence, round-graph and parent-link columns of length Len() —
+// and earlier rounds are reached through the chain of frontiers the space
+// was extended from. There is no per-item object: a run's Views, Run and
+// Item are thin adapters materialized on demand (O(Horizon) slice headers,
+// zero copying), while the hot loops — frontier expansion, decomposition
+// bucket scans, summary folds — read the columns directly. See DESIGN.md §5.
 package topo
 
 import (
@@ -21,11 +32,51 @@ import (
 	"sync"
 
 	"topocon/internal/combi"
+	"topocon/internal/graph"
 	"topocon/internal/ma"
 	"topocon/internal/ptg"
 )
 
-// Item is one admissible run prefix in a Space.
+// frontier is the dense columnar storage of one round of one prefix-space
+// chain: row i of ids/heard (the n-element segment at i·n) is the newest
+// view row of item i, and parentOf/gs link the item to the previous round's
+// frontier. Frontiers are immutable once built and shared between a space
+// and its extensions, so earlier rounds are never copied — the chain is the
+// columnar replacement of the per-item cloned row headers the pre-columnar
+// layout carried.
+type frontier struct {
+	horizon int
+	n       int
+	count   int
+	// ids[i*n+p] is the ViewID of process p in item i at this horizon;
+	// heard[i*n+p] its heard-bitmask.
+	ids   []ptg.ViewID
+	heard []uint64
+	// gs[i] is the round-horizon graph of item i; nil at horizon 0.
+	gs []graph.Graph
+	// parentOf[i] is the item index of i's parent in prev; nil at horizon 0.
+	parentOf []int32
+	// rootOf[i] is the index of i's horizon-0 ancestor — the input-vector
+	// index, giving O(1) access to the run's inputs at any depth.
+	rootOf []int32
+	// inputs[r] is input vector r; set only on the horizon-0 frontier.
+	inputs [][]int
+	prev   *frontier
+	// base is the horizon-0 frontier of the chain (itself at horizon 0),
+	// cached so input lookups need no chain walk.
+	base *frontier
+}
+
+// idRow returns the ViewID row of item i (aliases the column; read-only).
+func (f *frontier) idRow(i int) []ptg.ViewID { return f.ids[i*f.n : (i+1)*f.n] }
+
+// heardRow returns the heard-bitmask row of item i (aliases the column).
+func (f *frontier) heardRow(i int) []uint64 { return f.heard[i*f.n : (i+1)*f.n] }
+
+// Item is one admissible run prefix of a Space, materialized by Space.Item
+// for callers that want the pre-columnar object view. The hot paths never
+// build Items; use the columnar accessors (ViewAt, HeardAt, State, DoneAt,
+// Valence, Inputs) when only single fields are needed.
 type Item struct {
 	// Run is the input assignment plus graph prefix.
 	Run ptg.Run
@@ -44,13 +95,20 @@ type Item struct {
 }
 
 // Space is the horizon-t slice of PS: every admissible run prefix for every
-// input assignment over the input domain {0, ..., InputDomain-1}.
+// input assignment over the input domain {0, ..., InputDomain-1}. Storage
+// is columnar; see the package comment.
 type Space struct {
 	Adversary   ma.Adversary
 	InputDomain int
 	Horizon     int
-	Items       []Item
 	Interner    *ptg.Interner
+
+	// fr is the newest-round frontier; earlier rounds via fr.prev.
+	fr *frontier
+	// Per-item columns of the newest round, indexed by item.
+	states  []ma.State
+	doneAt  []int32
+	valence []int32
 
 	indexOnce sync.Once
 	index     map[string]int // run key -> item index, built lazily by Find
@@ -101,6 +159,13 @@ func BuildWithInterner(adv ma.Adversary, inputDomain, horizon, maxRuns int, inte
 // enumeration stops at cancellation and returns ctx.Err(). For iterative
 // deepening build the horizon-0 space once and grow it with Extend, which
 // reuses the horizon-t items instead of re-enumerating from the root.
+//
+// The space is built round by round into the columnar frontier chain —
+// exactly the expansion Extend performs, which produces items in the
+// depth-first prefix-enumeration order (children of one parent in Choices
+// order, parents in item order). The final item count is cross-checked
+// against the automaton's independent ma.CountPrefixes; a from-scratch
+// build carries no Refine parent linkage (see Decomposition.Refine).
 func BuildCtx(ctx context.Context, adv ma.Adversary, inputDomain, horizon int, cfg Config) (*Space, error) {
 	if inputDomain < 1 {
 		return nil, fmt.Errorf("topo: input domain size %d < 1", inputDomain)
@@ -119,65 +184,207 @@ func BuildCtx(ctx context.Context, adv ma.Adversary, inputDomain, horizon int, c
 	if total > maxRuns {
 		return nil, fmt.Errorf("topo: space has %d runs, exceeding cap %d", total, maxRuns)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	interner := cfg.Interner
 	if interner == nil {
 		interner = ptg.NewInterner()
 	}
-	s := &Space{
-		Adversary:   adv,
-		InputDomain: inputDomain,
-		Horizon:     horizon,
-		Items:       make([]Item, 0, total),
-		Interner:    interner,
-		maxRuns:     maxRuns,
-		parallelism: cfg.Parallelism,
-	}
-	var cancelled bool
-	combi.Words(inputDomain, n, func(inputs []int) bool {
-		run := ptg.NewRun(inputs)
-		valence := -1
-		if v, ok := run.IsValent(); ok {
-			valence = v
+	s := buildBase(adv, inputDomain, interner, maxRuns, cfg.Parallelism)
+	for s.Horizon < horizon {
+		next, err := s.extendOne(ctx)
+		if err != nil {
+			return nil, err
 		}
-		ma.EnumeratePrefixes(adv, horizon, func(p ma.Prefix) bool {
-			// Poll cancellation inside the prefix walk too: a single input
-			// vector can carry an exponential enumeration.
-			if len(s.Items)%cancelCheckInterval == 0 && ctx.Err() != nil {
-				cancelled = true
-				return false
-			}
-			r := run
-			for _, g := range p.Graphs {
-				r = r.Extend(g)
-			}
-			s.Items = append(s.Items, Item{
-				Run:     r,
-				Views:   ptg.ComputeViews(s.Interner, r),
-				State:   p.State,
-				Done:    p.Done,
-				DoneAt:  p.DoneAt,
-				Valence: valence,
-			})
-			return true
-		})
-		return !cancelled
-	})
-	if cancelled {
-		return nil, ctx.Err()
+		s = next
 	}
+	if s.Len() != total {
+		return nil, fmt.Errorf("topo: built %d runs at horizon %d, automaton counts %d",
+			s.Len(), horizon, total)
+	}
+	// From-scratch builds expose no parent linkage: Refine requires a space
+	// produced by a one-round Extend of the decomposed space.
+	s.parentOffsets = nil
 	return s, nil
 }
 
-// cancelCheckInterval is how many items may be appended between context
-// polls during enumeration; small enough for sub-millisecond cancellation
+// buildBase constructs the horizon-0 space: one item per input vector, leaf
+// views, the adversary's start state.
+func buildBase(adv ma.Adversary, inputDomain int, interner *ptg.Interner, maxRuns, parallelism int) *Space {
+	n := adv.N()
+	var inputs [][]int
+	combi.Words(inputDomain, n, func(w []int) bool {
+		inputs = append(inputs, append([]int(nil), w...))
+		return true
+	})
+	count := len(inputs)
+	fr := &frontier{
+		horizon: 0,
+		n:       n,
+		count:   count,
+		ids:     make([]ptg.ViewID, count*n),
+		heard:   make([]uint64, count*n),
+		rootOf:  make([]int32, count),
+		inputs:  inputs,
+	}
+	fr.base = fr
+	s := &Space{
+		Adversary:   adv,
+		InputDomain: inputDomain,
+		Horizon:     0,
+		Interner:    interner,
+		fr:          fr,
+		states:      make([]ma.State, count),
+		doneAt:      make([]int32, count),
+		valence:     make([]int32, count),
+		maxRuns:     maxRuns,
+		parallelism: parallelism,
+	}
+	start := adv.Start()
+	doneAt := int32(-1)
+	if adv.Done(start) {
+		doneAt = 0
+	}
+	for i, w := range inputs {
+		for p := 0; p < n; p++ {
+			fr.ids[i*n+p] = interner.Leaf(p, w[p])
+			fr.heard[i*n+p] = 1 << uint(p)
+		}
+		fr.rootOf[i] = int32(i)
+		s.states[i] = start
+		s.doneAt[i] = doneAt
+		s.valence[i] = valenceOf(w)
+	}
+	return s
+}
+
+// valenceOf returns the common input value of a valent vector, else -1.
+func valenceOf(inputs []int) int32 {
+	if len(inputs) == 0 {
+		return -1
+	}
+	v := inputs[0]
+	for _, x := range inputs[1:] {
+		if x != v {
+			return -1
+		}
+	}
+	return int32(v)
+}
+
+// cancelCheckInterval is how many items may be processed between context
+// polls during scans; small enough for sub-millisecond cancellation
 // latency, large enough to keep the poll off the profile.
 const cancelCheckInterval = 256
 
 // Len returns the number of runs in the space.
-func (s *Space) Len() int { return len(s.Items) }
+func (s *Space) Len() int { return s.fr.count }
 
 // N returns the process count.
 func (s *Space) N() int { return s.Adversary.N() }
+
+// ViewAt returns the ViewID of process p in item i at the space's horizon —
+// a direct column read.
+func (s *Space) ViewAt(i, p int) ptg.ViewID { return s.fr.ids[i*s.fr.n+p] }
+
+// HeardAt returns the heard-bitmask of process p in item i at the horizon.
+func (s *Space) HeardAt(i, p int) uint64 { return s.fr.heard[i*s.fr.n+p] }
+
+// HeardByAll returns the bitmask of processes heard by every process in
+// item i at the space's horizon — a fold over one column row.
+func (s *Space) HeardByAll(i int) uint64 {
+	acc := graph.AllNodes(s.fr.n)
+	for _, h := range s.fr.heardRow(i) {
+		acc &= h
+	}
+	return acc
+}
+
+// HeardByAllAt is HeardByAll at an earlier round t ≤ Horizon: it walks the
+// frontier chain up to item i's round-t ancestor and folds that heard row
+// in place — no Views adapter, no allocation. Callers that only need the
+// horizon row should use HeardByAll (a direct column read).
+func (s *Space) HeardByAllAt(i, t int) uint64 {
+	f, idx := s.fr, i
+	for f.horizon > t {
+		idx = int(f.parentOf[idx])
+		f = f.prev
+	}
+	acc := graph.AllNodes(f.n)
+	for _, h := range f.heardRow(idx) {
+		acc &= h
+	}
+	return acc
+}
+
+// State returns the adversary automaton state of item i.
+func (s *Space) State(i int) ma.State { return s.states[i] }
+
+// Done reports whether item i's liveness obligations are discharged.
+func (s *Space) Done(i int) bool { return s.doneAt[i] >= 0 }
+
+// DoneAt returns the earliest round at which item i's obligations were
+// discharged, or -1 while pending.
+func (s *Space) DoneAt(i int) int { return int(s.doneAt[i]) }
+
+// Valence returns the common input value of item i if it is valent, else -1.
+func (s *Space) Valence(i int) int { return int(s.valence[i]) }
+
+// Inputs returns the input vector of item i — an O(1) lookup through the
+// root-ancestor column and the chain's cached horizon-0 frontier. The
+// returned slice is shared; callers must not mutate it.
+func (s *Space) Inputs(i int) []int {
+	return s.fr.base.inputs[s.fr.rootOf[i]]
+}
+
+// ViewsOf materializes the hash-consed views of item i at all times
+// 0..Horizon as a ptg.Views adapter whose rows alias the frontier columns:
+// O(Horizon) slice headers, no copying. The adapter supports the full read
+// API (ID, Heard, HeardByAll, BroadcastTime, AgreeLevel…) and can even be
+// extended — new rows are appended without touching the shared columns.
+func (s *Space) ViewsOf(i int) *ptg.Views {
+	ids := make([][]ptg.ViewID, s.Horizon+1)
+	heard := make([][]uint64, s.Horizon+1)
+	f, idx := s.fr, i
+	for {
+		ids[f.horizon] = f.idRow(idx)
+		heard[f.horizon] = f.heardRow(idx)
+		if f.prev == nil {
+			break
+		}
+		idx = int(f.parentOf[idx])
+		f = f.prev
+	}
+	return ptg.ViewsFromRows(s.Interner, ids, heard)
+}
+
+// RunOf materializes the run prefix of item i: inputs via the root column,
+// graphs by walking the frontier chain.
+func (s *Space) RunOf(i int) ptg.Run {
+	graphs := make([]graph.Graph, s.Horizon)
+	f, idx := s.fr, i
+	for f.prev != nil {
+		graphs[f.horizon-1] = f.gs[idx]
+		idx = int(f.parentOf[idx])
+		f = f.prev
+	}
+	return ptg.Run{Inputs: s.Inputs(i), Graphs: graphs}
+}
+
+// Item materializes item i in the pre-columnar object form. O(Horizon);
+// intended for cold paths (reporting, rule evaluation, tests) — hot loops
+// read the columns via the field accessors instead.
+func (s *Space) Item(i int) Item {
+	return Item{
+		Run:     s.RunOf(i),
+		Views:   s.ViewsOf(i),
+		State:   s.states[i],
+		Done:    s.doneAt[i] >= 0,
+		DoneAt:  int(s.doneAt[i]),
+		Valence: int(s.valence[i]),
+	}
+}
 
 // Find returns the index of the item with the given run, or -1. The lookup
 // index is built on first use (concurrent Finds are safe), keeping space
@@ -185,9 +392,9 @@ func (s *Space) N() int { return s.Adversary.N() }
 // Find — free of run-key serialization.
 func (s *Space) Find(r ptg.Run) int {
 	s.indexOnce.Do(func() {
-		index := make(map[string]int, len(s.Items))
-		for i := range s.Items {
-			index[s.Items[i].Run.Key()] = i
+		index := make(map[string]int, s.Len())
+		for i := 0; i < s.Len(); i++ {
+			index[s.RunOf(i).Key()] = i
 		}
 		s.index = index
 	})
@@ -201,8 +408,8 @@ func (s *Space) Find(r ptg.Run) int {
 // paper).
 func (s *Space) ValentItems(v int) []int {
 	var out []int
-	for i := range s.Items {
-		if s.Items[i].Valence == v {
+	for i, val := range s.valence {
+		if int(val) == v {
 			out = append(out, i)
 		}
 	}

@@ -24,8 +24,8 @@ func TestBuildSpaceSize(t *testing.T) {
 	if s.Len() != 36 {
 		t.Fatalf("Len = %d, want 36", s.Len())
 	}
-	for i := range s.Items {
-		it := &s.Items[i]
+	for i := 0; i < s.Len(); i++ {
+		it := s.Item(i)
 		if it.Run.Rounds() != 2 || it.Views.Rounds() != 2 {
 			t.Errorf("item %d has wrong horizon", i)
 		}
@@ -50,7 +50,7 @@ func TestBuildErrors(t *testing.T) {
 func TestFindAndValentItems(t *testing.T) {
 	s := build(t, ma.LossyLink2(), 2, 1)
 	r := ptg.NewRun([]int{0, 1}).Extend(graph.Right)
-	if i := s.Find(r); i < 0 || s.Items[i].Run.Key() != r.Key() {
+	if i := s.Find(r); i < 0 || s.RunOf(i).Key() != r.Key() {
 		t.Errorf("Find failed for %v", r)
 	}
 	if i := s.Find(ptg.NewRun([]int{0, 1}).Extend(graph.Both)); i >= 0 {
@@ -126,21 +126,21 @@ func TestComponentsRefine(t *testing.T) {
 	s4 := build(t, adv, 2, 4)
 	d3 := Decompose(s3)
 	d4 := Decompose(s4)
-	for i := range s4.Items {
-		for j := i + 1; j < len(s4.Items); j++ {
+	for i := 0; i < s4.Len(); i++ {
+		for j := i + 1; j < s4.Len(); j++ {
 			if d4.CompOf[i] != d4.CompOf[j] {
 				continue
 			}
 			// Same component at horizon 4 ⇒ same at horizon 3.
-			ri := truncate(s4.Items[i].Run, 3)
-			rj := truncate(s4.Items[j].Run, 3)
+			ri := truncate(s4.RunOf(i), 3)
+			rj := truncate(s4.RunOf(j), 3)
 			pi, pj := s3.Find(ri), s3.Find(rj)
 			if pi < 0 || pj < 0 {
 				t.Fatalf("missing truncated runs %v, %v", ri, rj)
 			}
 			if d3.CompOf[pi] != d3.CompOf[pj] {
 				t.Fatalf("refinement violated: %v ~ %v at t=4 but not t=3",
-					s4.Items[i].Run, s4.Items[j].Run)
+					s4.RunOf(i), s4.RunOf(j))
 			}
 		}
 	}

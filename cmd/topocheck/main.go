@@ -13,6 +13,22 @@
 //	topocheck -scenario scenarios/lossylink-rooted.json
 //	topocheck -scenario scenarios/chaos-then-stable.json -validate
 //	topocheck -list
+//
+// Parameterized sweeps expand a template (a scenario document with a
+// "params" block of integer ranges/lists and ${param} placeholders) into
+// its concrete scenario grid and analyse the cells over a bounded worker
+// pool, deduping behaviourally isomorphic cells through a
+// fingerprint-keyed verdict cache:
+//
+//	topocheck -sweep scenarios/sweep-lossbound-n2.json
+//	topocheck -sweep tpl.json -sweep-workers 8 -out report.json
+//	topocheck -sweep tpl.json -sweep-timeout 30s
+//	topocheck -sweep tpl.json -validate
+//
+// The sweep prints a per-cell table (verdict, separation horizon, runs
+// explored, cache hit/miss, wall time) plus summary statistics; -out
+// additionally writes the structured JSON report. The exit status is 1
+// when any cell errors or contradicts the template's pinned verdict.
 package main
 
 import (
@@ -23,31 +39,49 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"topocon"
 )
 
 func main() {
 	var (
-		preset   = flag.String("preset", "", "adversary preset: lossy2, lossy3, unrestricted, stable, committed — or a built-in scenario name (see -list)")
-		scen     = flag.String("scenario", "", "declarative scenario file (JSON); its check options apply unless overridden by explicit flags")
-		list     = flag.Bool("list", false, "list the built-in scenarios and exit")
-		validate = flag.Bool("validate", false, "with -scenario or -preset: build the adversary, check the automaton contract and print the fingerprint instead of analysing")
-		n        = flag.Int("n", 2, "number of processes")
-		graphs   = flag.String("graphs", "", "oblivious graph set, '|'-separated edge lists (1-based ids)")
-		horizon  = flag.Int("horizon", 5, "maximum analysis horizon")
-		domain   = flag.Int("domain", 2, "input domain size")
-		window   = flag.Int("window", 1, "stability window for -preset stable")
-		deadline = flag.Int("deadline", 2, "deadline for -preset committed")
-		workers  = flag.Int("workers", 1, "worker-pool size for frontier expansion and decomposition")
-		retain   = flag.Int("retain", 1, "prefix spaces kept alive besides the separation horizon's (bounds session memory); 0 retains every horizon")
-		verbose  = flag.Bool("v", false, "print per-horizon decomposition statistics as the session refines")
+		preset       = flag.String("preset", "", "adversary preset: lossy2, lossy3, unrestricted, stable, committed — or a built-in scenario name (see -list)")
+		scen         = flag.String("scenario", "", "declarative scenario file (JSON); its check options apply unless overridden by explicit flags")
+		sweepPath    = flag.String("sweep", "", "parameterized template file (JSON with a params block): expand the grid and analyse every cell")
+		sweepWorkers = flag.Int("sweep-workers", 1, "with -sweep: number of concurrently analysed cells")
+		sweepTimeout = flag.Duration("sweep-timeout", 0, "with -sweep: per-cell analysis wall-time budget (0 = unbounded)")
+		out          = flag.String("out", "", "with -sweep: also write the structured JSON report to this file ('-' for stdout)")
+		list         = flag.Bool("list", false, "list the built-in scenarios and exit")
+		validate     = flag.Bool("validate", false, "with -scenario/-preset: check the automaton contract and print the fingerprint instead of analysing; with -sweep (or a -scenario path holding a template): do so for every expanded grid cell")
+		n            = flag.Int("n", 2, "number of processes")
+		graphs       = flag.String("graphs", "", "oblivious graph set, '|'-separated edge lists (1-based ids)")
+		horizon      = flag.Int("horizon", 5, "maximum analysis horizon")
+		domain       = flag.Int("domain", 2, "input domain size")
+		window       = flag.Int("window", 1, "stability window for -preset stable")
+		deadline     = flag.Int("deadline", 2, "deadline for -preset committed")
+		workers      = flag.Int("workers", 1, "worker-pool size for frontier expansion and decomposition")
+		retain       = flag.Int("retain", 1, "prefix spaces kept alive besides the separation horizon's (bounds session memory); 0 retains every horizon")
+		verbose      = flag.Bool("v", false, "print per-horizon decomposition statistics as the session refines (with -sweep: per-cell progress lines)")
 	)
 	flag.Parse()
 
 	if *list {
 		listScenarios()
 		return
+	}
+	if *sweepPath != "" {
+		runSweep(*sweepPath, *sweepWorkers, *sweepTimeout, *out, *validate, *verbose)
+		return
+	}
+	// -scenario -validate accepts either document kind: a template file is
+	// detected by its params block and validated cell by cell, so corpus
+	// walkers (CI) need no file classification of their own.
+	if *scen != "" && *validate {
+		if data, err := os.ReadFile(*scen); err == nil && topocon.IsTemplateDoc(data) {
+			runSweep(*scen, *sweepWorkers, *sweepTimeout, *out, true, *verbose)
+			return
+		}
 	}
 
 	adv, opts, err := resolveWorkload(*scen, *preset, *n, *graphs, *window, *deadline, *horizon, *domain)
@@ -99,6 +133,77 @@ func main() {
 	fmt.Print(res.Summary())
 }
 
+// runSweep drives a parameterized template through the sweep engine (or,
+// with validate, through per-cell contract checking only). Exit status: 2
+// on configuration errors, 1 when any cell errors or contradicts a pinned
+// verdict, 130 on interrupt.
+func runSweep(path string, workers int, timeout time.Duration, out string, validate, verbose bool) {
+	tpl, err := topocon.LoadTemplate(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topocheck:", err)
+		os.Exit(2)
+	}
+	if validate {
+		cells, err := tpl.Expand()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "topocheck:", err)
+			os.Exit(1)
+		}
+		for _, cell := range cells {
+			if err := validateWorkload(cell.Scenario.Adversary, cell.Scenario.Options.MaxHorizon); err != nil {
+				fmt.Fprintf(os.Stderr, "topocheck: %s: %v\n", cell.Scenario.Name, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("template  %s: %d cells validated\n", tpl.Name, len(cells))
+		return
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	cfg := topocon.SweepConfig{
+		Workers:     workers,
+		CellTimeout: timeout,
+	}
+	if verbose {
+		cfg.Progress = func(c topocon.SweepCellResult) {
+			fmt.Fprintf(os.Stderr, "%-9s %s (%.1fms)\n", c.Status+":", c.Name, c.WallMillis)
+		}
+	}
+	report, err := topocon.Sweep(ctx, tpl, cfg)
+	if report == nil {
+		fmt.Fprintln(os.Stderr, "topocheck:", err)
+		os.Exit(2)
+	}
+	fmt.Print(report.Table())
+	if out != "" {
+		data, jsonErr := report.JSON()
+		if jsonErr != nil {
+			fmt.Fprintln(os.Stderr, "topocheck:", jsonErr)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if out == "-" {
+			os.Stdout.Write(data)
+		} else if writeErr := os.WriteFile(out, data, 0o644); writeErr != nil {
+			fmt.Fprintln(os.Stderr, "topocheck:", writeErr)
+			os.Exit(1)
+		}
+	}
+	switch {
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintf(os.Stderr, "topocheck: interrupted with %d of %d cells done\n",
+			report.Summary.Done, report.Summary.Cells)
+		os.Exit(130)
+	case err != nil:
+		fmt.Fprintln(os.Stderr, "topocheck:", err)
+		os.Exit(1)
+	case report.Summary.Errors > 0 || report.Summary.Mismatches > 0:
+		fmt.Fprintf(os.Stderr, "topocheck: %d cell errors, %d verdict mismatches\n",
+			report.Summary.Errors, report.Summary.Mismatches)
+		os.Exit(1)
+	}
+}
+
 // resolveWorkload produces the adversary and checker options from either a
 // scenario file, a built-in scenario name, or the classic preset/graph
 // flags. Scenario check options are the base; explicit -horizon and
@@ -113,6 +218,9 @@ func resolveWorkload(scenPath, preset string, n int, graphSpec string, window, d
 		var err error
 		sc, err = topocon.LoadScenario(scenPath)
 		if err != nil {
+			if data, rerr := os.ReadFile(scenPath); rerr == nil && topocon.IsTemplateDoc(data) {
+				return nil, topocon.CheckOptions{}, fmt.Errorf("%s is a parameterized template; run it with -sweep", scenPath)
+			}
 			return nil, topocon.CheckOptions{}, err
 		}
 	case preset != "":

@@ -365,14 +365,7 @@ func (a *Analyzer) finalizeCompact() {
 		res.Rule = &MapRule{Map: res.Map}
 		return
 	}
-	chainLen := a.opts.CertChainLen
-	if chainLen == 0 {
-		if a.adv.N() <= 2 {
-			chainLen = 5
-		} else {
-			chainLen = 3
-		}
-	}
+	chainLen := a.opts.EffectiveCertChainLen(a.adv.N())
 	if ob, ok := a.adv.(*ma.Oblivious); ok && chainLen > 0 {
 		// The pump search is polynomial in the graph-set size; try it
 		// first. The bounded-chain greatest fixpoint is exponential in

@@ -83,11 +83,40 @@ func (o Options) withDefaults() (Options, error) {
 	if o.MaxHorizon == 0 {
 		o.MaxHorizon = 7
 	}
+	if o.MaxRuns == 0 {
+		// topo.Config treats ≤ 0 as DefaultMaxRuns; resolve it here so an
+		// explicit DefaultMaxRuns and the zero value are the same
+		// configuration (cache keys depend on this).
+		o.MaxRuns = topo.DefaultMaxRuns
+	}
 	if o.LatencySlack == 0 {
 		o.LatencySlack = 2
 	}
 	return o, nil
 }
+
+// EffectiveCertChainLen returns the bivalence-certificate chain budget the
+// compact route actually uses for an n-process adversary: the explicit
+// value, or the adaptive default (5 for n ≤ 2, 3 for larger n — the word
+// space grows as (2^n-1)^len) when the field is zero. Negative disables
+// the search. Cache keys must use this resolved form.
+func (o Options) EffectiveCertChainLen(n int) int {
+	if o.CertChainLen != 0 {
+		return o.CertChainLen
+	}
+	if n <= 2 {
+		return 5
+	}
+	return 3
+}
+
+// Resolved returns the options with every default applied — the exact
+// configuration an Analyzer constructed from o would run with, or the
+// construction error for invalid (negative) fields. Callers that key caches
+// or reports on an option set must key on the resolved form, so that a zero
+// field and its explicit default value collide instead of splitting
+// otherwise-identical work.
+func (o Options) Resolved() (Options, error) { return o.withDefaults() }
 
 // Result is the outcome of a solvability analysis.
 type Result struct {

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"encoding/json"
 	"testing"
 
 	"topocon/internal/ma"
@@ -29,6 +30,53 @@ func FuzzParse(f *testing.F) {
 		}
 		if err := ma.Validate(s.Adversary, 2); err != nil {
 			t.Fatalf("built adversary violates the contract: %v", err)
+		}
+	})
+}
+
+// FuzzTemplateExpand: template parsing and grid expansion must never panic;
+// hostile params blocks (unbound refs, duplicates, empty ranges, oversized
+// grids) must be rejected with errors; and when expansion succeeds, every
+// concrete cell must round-trip through the strict scenario parser with its
+// behavioural fingerprint intact.
+func FuzzTemplateExpand(f *testing.F) {
+	f.Add([]byte(lossboundTemplateDoc))
+	f.Add([]byte(`{"name":"x","params":{"w":"2..3"},"n":2,"graphs":{"L":"2->1","R":"1->2"},"adversary":{"op":"window-stable","arg":{"op":"oblivious","graphs":["L","R"]},"window":"${w}"},"check":{"maxHorizon":3}}`))
+	f.Add([]byte(`{"name":"x","params":{"c":[1,2,3]},"n":3,"graphs":{"S":"${c}->1, ${c}->2, ${c}->3"},"adversary":{"op":"oblivious","graphs":["S"]}}`))
+	f.Add([]byte(`{"name":"x","params":{"k":"5..3"},"n":2,"adversary":{"op":"unrestricted"}}`))
+	f.Add([]byte(`{"name":"x","params":{"k":[1,1]},"n":2,"adversary":{"op":"unrestricted"}}`))
+	f.Add([]byte(`{"name":"x","params":{},"n":2,"adversary":{"op":"unrestricted"}}`))
+	f.Add([]byte(`{"params":"zap"}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tpl, err := ParseTemplate(data)
+		if err != nil {
+			return
+		}
+		if tpl.CellCount() < 1 || tpl.CellCount() > maxGridCells {
+			t.Fatalf("accepted grid of %d cells", tpl.CellCount())
+		}
+		cells, err := tpl.Expand()
+		if err != nil {
+			return // a non-first cell may be individually invalid
+		}
+		if len(cells) != tpl.CellCount() {
+			t.Fatalf("expanded %d cells, CellCount says %d", len(cells), tpl.CellCount())
+		}
+		for _, cell := range cells {
+			if cell.Scenario == nil || cell.Scenario.Adversary == nil {
+				t.Fatal("expanded cell with nil scenario")
+			}
+			raw, err := json.Marshal(cell.Scenario.Spec)
+			if err != nil {
+				t.Fatalf("cell %s: marshal: %v", cell.Scenario.Name, err)
+			}
+			again, err := Parse(raw)
+			if err != nil {
+				t.Fatalf("cell %s does not round-trip through Parse: %v", cell.Scenario.Name, err)
+			}
+			if again.Fingerprint(2) != cell.Scenario.Fingerprint(2) {
+				t.Fatalf("cell %s: fingerprint changed across round-trip", cell.Scenario.Name)
+			}
 		}
 	})
 }

@@ -1,0 +1,224 @@
+package scenario
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"topocon/internal/ma"
+)
+
+const lossboundTemplateDoc = `{
+  "name": "lossbound-grid",
+  "description": "loss budget times horizon",
+  "params": {"f": "0..2", "horizon": [3, 4]},
+  "n": 2,
+  "adversary": {"op": "loss-bounded", "f": "${f}"},
+  "check": {"maxHorizon": "${horizon}"}
+}`
+
+func TestTemplateExpandGrid(t *testing.T) {
+	tpl, err := ParseTemplate([]byte(lossboundTemplateDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tpl.Name != "lossbound-grid" || tpl.Description == "" {
+		t.Fatalf("header = %q / %q", tpl.Name, tpl.Description)
+	}
+	// Params come back sorted by name: f before horizon.
+	if len(tpl.Params) != 2 || tpl.Params[0].Name != "f" || tpl.Params[1].Name != "horizon" {
+		t.Fatalf("params = %+v", tpl.Params)
+	}
+	if got := tpl.Params[0].Values; len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Fatalf("range f = %v", got)
+	}
+	if tpl.CellCount() != 6 {
+		t.Fatalf("CellCount = %d, want 6", tpl.CellCount())
+	}
+	cells, err := tpl.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 6 {
+		t.Fatalf("expanded %d cells, want 6", len(cells))
+	}
+	// Odometer order: last param (horizon) varies fastest.
+	wantNames := []string{
+		"lossbound-grid[f=0,horizon=3]", "lossbound-grid[f=0,horizon=4]",
+		"lossbound-grid[f=1,horizon=3]", "lossbound-grid[f=1,horizon=4]",
+		"lossbound-grid[f=2,horizon=3]", "lossbound-grid[f=2,horizon=4]",
+	}
+	for i, cell := range cells {
+		if cell.Scenario.Name != wantNames[i] {
+			t.Errorf("cell %d name = %q, want %q", i, cell.Scenario.Name, wantNames[i])
+		}
+		if err := ma.Validate(cell.Scenario.Adversary, 3); err != nil {
+			t.Errorf("cell %d: %v", i, err)
+		}
+	}
+	// Substitution into an integer expression field and a check option.
+	if cells[5].Scenario.Spec.Adversary.F != 2 {
+		t.Errorf("cell 5 f = %d, want 2", cells[5].Scenario.Spec.Adversary.F)
+	}
+	if cells[5].Scenario.Options.MaxHorizon != 4 {
+		t.Errorf("cell 5 maxHorizon = %d, want 4", cells[5].Scenario.Options.MaxHorizon)
+	}
+	if got := cells[5].Bindings; got[0].Param != "f" || got[0].Value != 2 || got[1].Param != "horizon" || got[1].Value != 4 {
+		t.Errorf("cell 5 bindings = %v", got)
+	}
+	// Saturation: f=2 on n=2 already admits every graph, so the f=2 cells
+	// are behaviourally isomorphic to... themselves only here; but f=2 and
+	// a hypothetical f=3 would coincide. Check instead that f is monotone
+	// in the admitted choice count.
+	c0 := cells[0].Scenario.Adversary
+	c4 := cells[4].Scenario.Adversary
+	if len(c0.Choices(c0.Start())) >= len(c4.Choices(c4.Start())) {
+		t.Errorf("loss budget not monotone: f=0 admits %d, f=2 admits %d",
+			len(c0.Choices(c0.Start())), len(c4.Choices(c4.Start())))
+	}
+}
+
+// TestTemplateGraphSubstitution: placeholders inside graph definitions and
+// expression graph refs substitute as decimal text.
+func TestTemplateGraphSubstitution(t *testing.T) {
+	doc := `{
+	  "name": "star-center",
+	  "params": {"c": "1..3"},
+	  "n": 3,
+	  "graphs": {"S": "${c}->1, ${c}->2, ${c}->3"},
+	  "adversary": {"op": "oblivious", "graphs": ["S"]},
+	  "check": {"maxHorizon": 3}
+	}`
+	tpl, err := ParseTemplate([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := tpl.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3 {
+		t.Fatalf("expanded %d cells, want 3", len(cells))
+	}
+	// Each center yields a different labeled star, so fingerprints differ.
+	seen := map[string]string{}
+	for _, cell := range cells {
+		fp := cell.Scenario.Fingerprint(3)
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("cells %s and %s share a fingerprint", prev, cell.Scenario.Name)
+		}
+		seen[fp] = cell.Scenario.Name
+	}
+	if got := cells[1].Scenario.Spec.Graphs["S"]; got != "2->1, 2->2, 2->3" {
+		t.Errorf("substituted graph def = %q", got)
+	}
+}
+
+func TestTemplateRoundTripThroughParse(t *testing.T) {
+	tpl, err := ParseTemplate([]byte(lossboundTemplateDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := tpl.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range cells {
+		data, err := json.Marshal(cell.Scenario.Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		again, err := Parse(data)
+		if err != nil {
+			t.Fatalf("cell %s does not round-trip: %v", cell.Scenario.Name, err)
+		}
+		if again.Fingerprint(4) != cell.Scenario.Fingerprint(4) {
+			t.Errorf("cell %s: fingerprint changed across round-trip", cell.Scenario.Name)
+		}
+	}
+}
+
+func TestTemplateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"no params", `{"name":"x","n":2,"adversary":{"op":"unrestricted"}}`, "missing params"},
+		{"empty params", `{"name":"x","params":{},"n":2,"adversary":{"op":"unrestricted"}}`, "no parameters"},
+		{"missing name", `{"params":{"k":[1,2]},"n":2,"adversary":{"op":"concat","first":{"op":"unrestricted"},"rounds":"${k}","then":{"op":"unrestricted"}}}`, "missing name"},
+		{"bad param name", `{"name":"x","params":{"9k":[1,2]},"n":2,"adversary":{"op":"unrestricted"}}`, "invalid param name"},
+		{"empty range", `{"name":"x","params":{"k":"5..3"},"n":2,"adversary":{"op":"unrestricted"}}`, "empty range"},
+		{"malformed range", `{"name":"x","params":{"k":"3-5"},"n":2,"adversary":{"op":"unrestricted"}}`, "not of the form"},
+		{"empty list", `{"name":"x","params":{"k":[]},"n":2,"adversary":{"op":"unrestricted"}}`, "empty value list"},
+		{"duplicate list value", `{"name":"x","params":{"k":[2,2]},"n":2,"adversary":{"op":"unrestricted"}}`, "duplicate value"},
+		{"non-integer value", `{"name":"x","params":{"k":[1.5]},"n":2,"adversary":{"op":"unrestricted"}}`, "not an integer"},
+		{"duplicate param", `{"name":"x","params":{"k":[1],"k":[2]},"n":2,"adversary":{"op":"concat","first":{"op":"unrestricted"},"rounds":"${k}","then":{"op":"unrestricted"}}}`, "duplicate param"},
+		{"duplicate params block", `{"name":"x","params":{"k":[1]},"params":{"j":[1,2]},"n":2,"adversary":{"op":"concat","first":{"op":"unrestricted"},"rounds":"${j}","then":{"op":"unrestricted"}}}`, "duplicate params block"},
+		{"dup inside later params block", `{"name":"x","n":2,"params":{"k":[1],"k":[2]},"adversary":{"op":"concat","first":{"op":"unrestricted"},"rounds":"${k}","then":{"op":"unrestricted"}}}`, "duplicate param"},
+		{"unbound ref", `{"name":"x","params":{"k":[1,2]},"n":2,"adversary":{"op":"concat","first":{"op":"unrestricted"},"rounds":"${j}","then":{"op":"unrestricted"}}}`, "unbound param"},
+		{"unused param", `{"name":"x","params":{"k":[1,2]},"n":2,"adversary":{"op":"unrestricted"}}`, "never referenced"},
+		{"unterminated", `{"name":"x","params":{"k":[1,2]},"n":2,"adversary":{"op":"concat","first":{"op":"unrestricted"},"rounds":"${k","then":{"op":"unrestricted"}}}`, "unterminated placeholder"},
+		{"placeholder in key", `{"name":"x","params":{"k":[1,2]},"n":2,"graphs":{"G${k}":"1->2"},"adversary":{"op":"concat","first":{"op":"unrestricted"},"rounds":"${k}","then":{"op":"unrestricted"}}}`, "placeholder in object key"},
+		{"range too wide", `{"name":"x","params":{"k":"0..1000"},"n":2,"adversary":{"op":"concat","first":{"op":"unrestricted"},"rounds":"${k}","then":{"op":"unrestricted"}}}`, "cap"},
+		{"broken body", `{"name":"x","params":{"k":[1,2]},"n":0,"adversary":{"op":"concat","first":{"op":"unrestricted"},"rounds":"${k}","then":{"op":"unrestricted"}}}`, "out of range"},
+		{"trailing data", `{"name":"x","params":{"k":[1]},"n":2,"adversary":{"op":"unrestricted"}} {}`, "trailing data"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseTemplate([]byte(c.doc))
+			if err == nil {
+				t.Fatalf("ParseTemplate succeeded, want error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestTemplateExpandCellError: a binding that drives the spec out of its
+// own validity range fails expansion with the cell named.
+func TestTemplateExpandCellError(t *testing.T) {
+	doc := `{
+	  "name": "badcell",
+	  "params": {"k": "1..2"},
+	  "n": "${k}",
+	  "adversary": {"op": "loss-bounded", "f": 1},
+	  "check": {"maxHorizon": 2}
+	}`
+	// First cell (n=1) is fine; ParseTemplate validates only that one.
+	tpl, err := ParseTemplate([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := tpl.Expand()
+	if err != nil {
+		t.Fatalf("n=1..2 should expand, got %v", err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("expanded %d cells", len(cells))
+	}
+	// A grid whose non-first cell is invalid fails at Expand: n=5 exceeds
+	// the loss-bounded enumeration cap, but the first cell (n=1) is fine.
+	doc2 := strings.Replace(doc, `"1..2"`, `"1..5"`, 1)
+	tpl2, err := ParseTemplate([]byte(doc2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tpl2.Expand(); err == nil || !strings.Contains(err.Error(), "badcell[k=") {
+		t.Fatalf("Expand error = %v, want cell-named error", err)
+	}
+}
+
+func TestIsTemplate(t *testing.T) {
+	if !IsTemplate([]byte(lossboundTemplateDoc)) {
+		t.Error("template doc not recognized")
+	}
+	if IsTemplate([]byte(`{"name":"x","n":2,"adversary":{"op":"unrestricted"}}`)) {
+		t.Error("concrete scenario misrecognized as template")
+	}
+	if IsTemplate([]byte(`not json`)) {
+		t.Error("garbage misrecognized as template")
+	}
+}

@@ -1,0 +1,137 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+
+	"sync"
+
+	"topocon/internal/check"
+	"topocon/internal/ma"
+)
+
+// Key identifies one unit of solvability work up to behavioural
+// isomorphism: two cells with equal keys receive the same verdict, so the
+// cache solves each key once.
+//
+// The contract (DESIGN.md §8.2):
+//
+//   - Fingerprint is ma.Fingerprint(adversary, depth) at depth =
+//     resolved MaxHorizon. The analysis explores prefixes of at most
+//     MaxHorizon rounds, and the fingerprint distinguishes exactly the
+//     behaviours that differ within its depth, so behaviours merged by the
+//     hash are indistinguishable to every analysis route at these options.
+//   - Options is the *resolved* option set (check.Options.Resolved, with
+//     the adaptive CertChainLen default additionally resolved against the
+//     adversary's process count): a zero field and its effective default
+//     must collide.
+//   - CertEligible records whether the adversary is an *ma.Oblivious: the
+//     impossibility-certificate searches of the compact route only run for
+//     that concrete type, so a behaviourally isomorphic adversary of a
+//     different construction can legitimately end in VerdictUnknown where
+//     the oblivious original proves VerdictImpossible. (For oblivious
+//     adversaries themselves the searches depend only on the graph set,
+//     which any positive-depth fingerprint captures — the automaton has one
+//     state.)
+type Key struct {
+	Fingerprint  string
+	Options      check.Options
+	CertEligible bool
+}
+
+// KeyFor computes the cache key of a scenario's work unit.
+func KeyFor(adv ma.Adversary, opts check.Options) (Key, error) {
+	resolved, err := opts.Resolved()
+	if err != nil {
+		return Key{}, err
+	}
+	// The chain-length default is adaptive in the process count; resolve it
+	// too, so a zero field and its effective value share a key.
+	resolved.CertChainLen = resolved.EffectiveCertChainLen(adv.N())
+	_, oblivious := adv.(*ma.Oblivious)
+	return Key{
+		Fingerprint:  ma.Fingerprint(adv, resolved.MaxHorizon),
+		Options:      resolved,
+		CertEligible: oblivious,
+	}, nil
+}
+
+// Outcome is the cached result of one solved key: the verdict plus the
+// exploration statistics of the session that computed it.
+type Outcome struct {
+	Verdict           check.Verdict
+	Exact             bool
+	SeparationHorizon int
+	Horizon           int
+	// Runs is the size of the deepest analysed prefix space.
+	Runs int
+	// Notes carries analysis anomalies surfaced by the checker.
+	Notes []string
+}
+
+// cacheEntry is one in-flight or completed key. done is closed when the
+// leader finishes; removed marks an entry retracted because the leader was
+// cancelled (waiters retry under their own contexts).
+type cacheEntry struct {
+	done    chan struct{}
+	removed bool
+	outcome Outcome
+	err     error
+}
+
+// Cache is a concurrency-safe verdict cache with in-flight deduplication:
+// the first requester of a key solves it while concurrent requesters of the
+// same key wait for the result. Deterministic solver errors are cached like
+// outcomes; context errors (cancellation, per-cell timeout) retract the
+// entry so a later request retries under its own context.
+type Cache struct {
+	mu sync.Mutex
+	m  map[Key]*cacheEntry
+}
+
+// NewCache returns an empty verdict cache.
+func NewCache() *Cache { return &Cache{m: make(map[Key]*cacheEntry)} }
+
+// Len returns the number of solved (or deterministically failed) keys.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Do returns the outcome for the key, invoking solve at most once per key
+// across all concurrent callers. hit reports whether the result came from
+// the cache (including waiting on another caller's in-flight computation)
+// rather than from this call's own solve.
+func (c *Cache) Do(ctx context.Context, key Key, solve func() (Outcome, error)) (out Outcome, hit bool, err error) {
+	for {
+		c.mu.Lock()
+		if e, ok := c.m[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-e.done:
+			case <-ctx.Done():
+				return Outcome{}, false, ctx.Err()
+			}
+			if e.removed {
+				continue // leader was cancelled; retry under our context
+			}
+			return e.outcome, true, e.err
+		}
+		e := &cacheEntry{done: make(chan struct{})}
+		c.m[key] = e
+		c.mu.Unlock()
+
+		e.outcome, e.err = solve()
+		if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
+			// A context error is a property of this caller's budget, not of
+			// the key: retract the entry so the key stays solvable.
+			c.mu.Lock()
+			e.removed = true
+			delete(c.m, key)
+			c.mu.Unlock()
+		}
+		close(e.done)
+		return e.outcome, false, e.err
+	}
+}

@@ -1,0 +1,55 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"topocon/internal/scenario"
+)
+
+var update = flag.Bool("update", false, "rewrite golden sweep reports")
+
+// TestSweepReportGolden pins the full JSON report schema and content for a
+// deterministic sequential sweep: any drift in the report shape, the cell
+// enumeration order, the cache attribution or the verdicts shows up as a
+// reviewable golden-file diff. Timing fields are normalized to zero before
+// comparison. Regenerate with: go test ./internal/sweep -run Golden -update
+func TestSweepReportGolden(t *testing.T) {
+	tplPath := filepath.Join("testdata", "lossbound-grid.json")
+	goldenPath := filepath.Join("testdata", "lossbound-grid.golden.json")
+	tpl, err := scenario.LoadTemplate(tplPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Workers: 1 — sequential grid-order execution makes the miss/hit
+	// attribution (first cell of a key misses, later ones hit) exact.
+	report, err := Run(context.Background(), tpl, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report.Normalize()
+	got, err := report.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	if *update {
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("sweep report drifted from %s (run with -update after reviewing):\ngot:\n%s\nwant:\n%s",
+			goldenPath, got, want)
+	}
+}

@@ -1,0 +1,238 @@
+// Package sweep is the batch evaluation engine: it expands a parameterized
+// scenario template (internal/scenario) into its concrete grid, runs the
+// cells as Analyzer sessions over a bounded worker pool, and dedupes
+// behaviourally isomorphic cells through a fingerprint-keyed verdict cache
+// — parameterized families produce such cells constantly (saturating loss
+// budgets, windows past the horizon, symmetric graph relabelings), and the
+// cache turns each class into one solve plus cheap hits.
+//
+// Results land in a structured Report: per-cell verdict, separation
+// horizon, runs explored, wall time and cache attribution, plus grid-level
+// summary statistics; the report marshals to JSON and renders as a human
+// table.
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"topocon/internal/check"
+	"topocon/internal/scenario"
+)
+
+// Cell statuses in a report.
+const (
+	// StatusDone: the cell was analysed to a verdict.
+	StatusDone = "done"
+	// StatusError: the cell failed (configuration error, per-cell timeout).
+	StatusError = "error"
+	// StatusCancelled: the sweep was cancelled before the cell ran.
+	StatusCancelled = "cancelled"
+)
+
+// Config tunes a sweep run. The zero value runs sequentially with no
+// per-cell timeout.
+type Config struct {
+	// Workers bounds the number of concurrently running cells (≤ 0: 1).
+	Workers int
+	// CellParallelism is each cell's Analyzer worker-pool size (≤ 0: 1).
+	// It does not enter the cache key: parallelism never changes results.
+	CellParallelism int
+	// CellTimeout bounds one cell's analysis wall time (0: unbounded). A
+	// timed-out cell reports StatusError; its key is not cached, so the
+	// timeout of one cell does not poison later isomorphic cells.
+	CellTimeout time.Duration
+	// Progress, when set, is invoked with each finished cell's result, in
+	// completion order, serialized by the engine.
+	Progress func(CellResult)
+	// Cache, when set, is shared with (and reused across) other sweeps;
+	// nil runs with a fresh per-sweep cache.
+	Cache *Cache
+}
+
+// analyzerBuilt is a test seam: when non-nil it observes every Analyzer
+// construction the engine performs (i.e. every cache miss actually solved),
+// keyed by fingerprint. The concurrency tests count constructions per key.
+var analyzerBuilt func(fingerprint string)
+
+// Run expands the template and analyses its grid under the config. On
+// cancellation it returns the partial report together with the context
+// error: finished cells keep their results and unstarted cells report
+// StatusCancelled, so a cancelled sweep still yields a well-formed report.
+func Run(ctx context.Context, tpl *scenario.Template, cfg Config) (*Report, error) {
+	cells, err := tpl.Expand()
+	if err != nil {
+		return nil, err
+	}
+	report := &Report{
+		Template: tpl.Name,
+		Params:   tpl.Params,
+		Workers:  workers(cfg),
+		Cells:    make([]CellResult, len(cells)),
+	}
+	cache := cfg.Cache
+	if cache == nil {
+		cache = NewCache()
+	}
+	start := time.Now()
+	runCells(ctx, cells, cfg, cache, report.Cells)
+	report.WallMillis = millis(time.Since(start))
+	report.Summary = summarize(report.Cells, cache)
+	return report, ctx.Err()
+}
+
+func workers(cfg Config) int {
+	if cfg.Workers <= 0 {
+		return 1
+	}
+	return cfg.Workers
+}
+
+// sweepState carries the per-run shared pieces.
+type sweepState struct {
+	cfg        Config
+	cache      *Cache
+	progressMu sync.Mutex
+}
+
+// runCells drives the worker pool over the grid, writing each cell's result
+// into its own slot of results (grid order).
+func runCells(ctx context.Context, cells []scenario.Cell, cfg Config, cache *Cache, results []CellResult) {
+	st := &sweepState{cfg: cfg, cache: cache}
+	// Pre-mark every cell cancelled; workers overwrite the slots they run.
+	for i, cell := range cells {
+		results[i] = CellResult{
+			Name:              cell.Scenario.Name,
+			Bindings:          cell.Bindings,
+			Status:            StatusCancelled,
+			SeparationHorizon: -1,
+		}
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers(cfg); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i] = st.runCell(ctx, cells[i])
+				if cfg.Progress != nil {
+					st.progressMu.Lock()
+					cfg.Progress(results[i])
+					st.progressMu.Unlock()
+				}
+			}
+		}()
+	}
+feed:
+	for i := range cells {
+		select {
+		case work <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(work)
+	wg.Wait()
+}
+
+// runCell analyses one grid cell through the verdict cache.
+func (st *sweepState) runCell(ctx context.Context, cell scenario.Cell) CellResult {
+	sc := cell.Scenario
+	res := CellResult{
+		Name:              sc.Name,
+		Bindings:          cell.Bindings,
+		Status:            StatusDone,
+		SeparationHorizon: -1,
+	}
+	if sc.Expect != 0 {
+		res.Expect = sc.Expect.String()
+	}
+	if err := ctx.Err(); err != nil {
+		res.Status = StatusCancelled
+		return res
+	}
+	start := time.Now()
+	key, err := KeyFor(sc.Adversary, sc.Options)
+	if err != nil {
+		res.Status = StatusError
+		res.Err = err.Error()
+		return res
+	}
+	res.Fingerprint = key.Fingerprint
+	cellCtx := ctx
+	if st.cfg.CellTimeout > 0 {
+		var cancel context.CancelFunc
+		cellCtx, cancel = context.WithTimeout(ctx, st.cfg.CellTimeout)
+		defer cancel()
+	}
+	out, hit, err := st.cache.Do(cellCtx, key, func() (Outcome, error) {
+		return solveCell(cellCtx, sc, st.cfg.CellParallelism, key.Fingerprint)
+	})
+	res.WallMillis = millis(time.Since(start))
+	res.CacheHit = hit
+	switch {
+	case err == nil:
+		res.Verdict = out.Verdict.String()
+		res.Exact = out.Exact
+		res.SeparationHorizon = out.SeparationHorizon
+		res.Horizon = out.Horizon
+		res.Runs = out.Runs
+		res.Notes = out.Notes
+		if res.Expect != "" {
+			match := res.Verdict == res.Expect
+			res.Match = &match
+		}
+	case errors.Is(err, context.Canceled) && ctx.Err() != nil:
+		// The sweep itself was cancelled (not just this cell's budget).
+		res.Status = StatusCancelled
+	case errors.Is(err, context.DeadlineExceeded):
+		res.Status = StatusError
+		res.Err = fmt.Sprintf("cell timeout after %v", st.cfg.CellTimeout)
+	default:
+		// A deterministic solver error: classify by the error itself, not
+		// by cellCtx state — a deadline that happens to elapse during a
+		// failing solve must not masquerade as a timeout (the error is
+		// cached, and later isomorphic cells would tell a different story).
+		res.Status = StatusError
+		res.Err = err.Error()
+	}
+	return res
+}
+
+// solveCell is the cache-miss path: one full Analyzer session.
+func solveCell(ctx context.Context, sc *scenario.Scenario, parallelism int, fingerprint string) (Outcome, error) {
+	if parallelism <= 0 {
+		parallelism = 1
+	}
+	runs := 0
+	an, err := check.NewAnalyzer(sc.Adversary,
+		check.WithOptions(sc.Options),
+		check.WithParallelism(parallelism),
+		check.WithProgress(func(r check.HorizonReport) { runs = r.Runs }))
+	if err != nil {
+		return Outcome{}, err
+	}
+	if analyzerBuilt != nil {
+		analyzerBuilt(fingerprint)
+	}
+	res, err := an.Check(ctx)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return Outcome{
+		Verdict:           res.Verdict,
+		Exact:             res.Exact,
+		SeparationHorizon: res.SeparationHorizon,
+		Horizon:           res.Horizon,
+		Runs:              runs,
+		Notes:             res.Notes,
+	}, nil
+}
+
+func millis(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1000
+}

@@ -10,27 +10,47 @@ import (
 
 // TestRefineMatchesDecompose extends the incremental-decomposition
 // invariant suite (internal/topo runs it over the seed families) to the
-// full scenarios/ corpus: for every spec, refining the horizon-t partition
-// into the one-round extension must equal the from-scratch decomposition
-// at t+1 — same partition, valences, broadcasters and uniform inputs — on
-// both the sequential and the worker-pool path, at every horizon of the
-// spec's own analysis budget.
+// full scenarios/ corpus — concrete specs and every sweep-template grid
+// cell: for every workload, refining the horizon-t partition into the
+// one-round extension must equal the from-scratch decomposition at t+1 —
+// same partition, valences, broadcasters and uniform inputs — on both the
+// sequential and the worker-pool path, at every horizon of the spec's own
+// analysis budget.
 func TestRefineMatchesDecompose(t *testing.T) {
-	files, err := filepath.Glob("scenarios/*.json")
-	if err != nil {
-		t.Fatal(err)
+	type workload struct {
+		name string
+		sc   *topocon.Scenario
 	}
+	files, templates := corpusFiles(t)
 	if len(files) < 8 {
-		t.Fatalf("scenario corpus has %d specs, want >= 8", len(files))
+		t.Fatalf("scenario corpus has %d concrete specs, want >= 8", len(files))
+	}
+	var workloads []workload
+	for _, file := range files {
+		sc, err := topocon.LoadScenario(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		workloads = append(workloads, workload{name: filepath.Base(file), sc: sc})
+	}
+	for _, file := range templates {
+		tpl, err := topocon.LoadTemplate(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells, err := tpl.Expand()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cell := range cells {
+			workloads = append(workloads, workload{name: cell.Scenario.Name, sc: cell.Scenario})
+		}
 	}
 	ctx := context.Background()
-	for _, file := range files {
-		file := file
-		t.Run(filepath.Base(file), func(t *testing.T) {
-			sc, err := topocon.LoadScenario(file)
-			if err != nil {
-				t.Fatal(err)
-			}
+	for _, w := range workloads {
+		w := w
+		t.Run(w.name, func(t *testing.T) {
+			sc := w.sc
 			domain := sc.Options.InputDomain
 			if domain == 0 {
 				domain = 2

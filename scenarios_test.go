@@ -2,6 +2,7 @@ package topocon_test
 
 import (
 	"context"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -13,18 +14,51 @@ import (
 // behaviour.
 const fingerprintDepth = 6
 
+// corpusFiles returns every file in scenarios/, partitioned into concrete
+// scenario documents and parameterized templates. It fails the test on
+// anything it cannot classify — a stray file in the corpus directory must
+// never be skipped silently, or a typo'd spec would drop out of coverage
+// without anybody noticing.
+func corpusFiles(t *testing.T) (scenarios, templates []string) {
+	t.Helper()
+	entries, err := os.ReadDir("scenarios")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("scenarios/ is empty")
+	}
+	for _, e := range entries {
+		path := filepath.Join("scenarios", e.Name())
+		if e.IsDir() || filepath.Ext(e.Name()) != ".json" {
+			t.Fatalf("%s: corpus entries must be .json documents; this file would not be loaded", path)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if topocon.IsTemplateDoc(data) {
+			templates = append(templates, path)
+		} else {
+			scenarios = append(scenarios, path)
+		}
+	}
+	return scenarios, templates
+}
+
 // TestScenarioCorpus walks every spec in scenarios/ through a full
 // Analyzer session: the adversary must satisfy the automaton contract, the
 // verdict must match the spec's pinned expectation, and the behavioural
 // fingerprint must be stable across independent loads and distinct across
-// the corpus.
+// the corpus. Every directory entry must load as a scenario or template —
+// an unloadable file fails the test rather than passing vacuously.
 func TestScenarioCorpus(t *testing.T) {
-	files, err := filepath.Glob("scenarios/*.json")
-	if err != nil {
-		t.Fatal(err)
-	}
+	files, templates := corpusFiles(t)
 	if len(files) < 8 {
-		t.Fatalf("scenario corpus has %d specs, want >= 8", len(files))
+		t.Fatalf("scenario corpus has %d concrete specs, want >= 8", len(files))
+	}
+	if len(templates) < 2 {
+		t.Fatalf("scenario corpus has %d sweep templates, want >= 2", len(templates))
 	}
 	type entry struct {
 		file        string
@@ -69,12 +103,65 @@ func TestScenarioCorpus(t *testing.T) {
 			}
 		})
 	}
-	// Every corpus entry denotes a behaviourally distinct adversary.
+	// Every concrete corpus entry denotes a behaviourally distinct
+	// adversary. (Template grids are exempt: saturating parameter families
+	// produce intentionally isomorphic cells — that is what the sweep
+	// engine's verdict cache exists for.)
 	seen := map[string]string{}
 	for _, e := range entries {
 		if prev, clash := seen[e.fingerprint]; clash {
 			t.Errorf("fingerprint collision between %s and %s", prev, e.file)
 		}
 		seen[e.fingerprint] = e.file
+	}
+}
+
+// TestScenarioCorpusTemplates walks every sweep template in scenarios/
+// through expansion and a full sweep run: templates must expand to at
+// least two cells (a one-cell template is a concrete scenario in
+// disguise), every cell's adversary must satisfy the automaton contract,
+// and a pinned template verdict must hold across the whole grid.
+func TestScenarioCorpusTemplates(t *testing.T) {
+	_, templates := corpusFiles(t)
+	for _, file := range templates {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			tpl, err := topocon.LoadTemplate(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cells, err := tpl.Expand()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(cells) < 2 {
+				t.Fatalf("template expands to %d cells, want >= 2 (inline a concrete scenario instead)", len(cells))
+			}
+			cellNames := map[string]bool{}
+			for _, cell := range cells {
+				if cellNames[cell.Scenario.Name] {
+					t.Fatalf("duplicate cell name %q", cell.Scenario.Name)
+				}
+				cellNames[cell.Scenario.Name] = true
+				if err := topocon.ValidateAdversary(cell.Scenario.Adversary, 4); err != nil {
+					t.Fatalf("cell %s: contract violation: %v", cell.Scenario.Name, err)
+				}
+			}
+			report, err := topocon.Sweep(context.Background(), tpl, topocon.SweepConfig{Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range report.Cells {
+				if c.Status != topocon.SweepStatusDone {
+					t.Errorf("cell %s: status %s (%s)", c.Name, c.Status, c.Err)
+				}
+				if c.Match != nil && !*c.Match {
+					t.Errorf("cell %s: verdict %s contradicts pinned %s", c.Name, c.Verdict, c.Expect)
+				}
+			}
+			if report.Summary.Done != len(cells) {
+				t.Errorf("sweep finished %d of %d cells", report.Summary.Done, len(cells))
+			}
+		})
 	}
 }

@@ -56,6 +56,7 @@ import (
 	"topocon/internal/ptg"
 	"topocon/internal/scenario"
 	"topocon/internal/sim"
+	"topocon/internal/sweep"
 	"topocon/internal/topo"
 )
 
@@ -107,6 +108,11 @@ type (
 // and scenario specs.
 type GraphPred = ma.GraphPred
 
+// AdmissiblePrefix is an admissible finite prefix paired with its
+// automaton state and liveness-discharge round — the metadata the
+// exhaustive sim driver hands to its yield callback.
+type AdmissiblePrefix = ma.Prefix
+
 // Adversary constructors.
 var (
 	// NewOblivious builds an oblivious adversary over a graph set.
@@ -136,6 +142,9 @@ var (
 	RepeatWord   = ma.Repeat
 	// ValidateAdversary sanity-checks an adversary implementation.
 	ValidateAdversary = ma.Validate
+	// CountAdmissiblePrefixes counts the admissible prefixes of the given
+	// round count (the prefix-space size per input assignment).
+	CountAdmissiblePrefixes = ma.CountPrefixes
 )
 
 // The adversary combinator algebra: a closed set of operators over
@@ -183,6 +192,60 @@ var (
 	ScenarioRegistry = scenario.Registry
 	// LookupScenario finds a built-in scenario by name.
 	LookupScenario = scenario.Lookup
+)
+
+// Parameterized scenario templates and batch sweeps.
+type (
+	// Template is a parameterized scenario: a params block of integer
+	// ranges/lists plus a scenario body with ${param} placeholders; it
+	// expands into a concrete scenario grid. See internal/scenario.
+	Template = scenario.Template
+	// TemplateParam is one declared template parameter with its values.
+	TemplateParam = scenario.Param
+	// TemplateCell is one concrete scenario of an expanded grid.
+	TemplateCell = scenario.Cell
+	// TemplateBinding is one parameter's value in a grid cell.
+	TemplateBinding = scenario.Binding
+	// SweepConfig tunes a sweep run (worker pool, per-cell timeout,
+	// progress callback, shared verdict cache).
+	SweepConfig = sweep.Config
+	// SweepReport is the structured outcome of a sweep: per-cell verdicts
+	// with cache attribution plus grid-level summary statistics.
+	SweepReport = sweep.Report
+	// SweepCellResult is one grid cell's outcome in a sweep report.
+	SweepCellResult = sweep.CellResult
+	// SweepCache is the concurrency-safe fingerprint-keyed verdict cache;
+	// share one across sweeps to reuse verdicts between templates.
+	SweepCache = sweep.Cache
+	// SweepKey identifies one unit of solvability work up to behavioural
+	// isomorphism: (adversary fingerprint, resolved options, certificate
+	// eligibility).
+	SweepKey = sweep.Key
+)
+
+var (
+	// LoadTemplate reads and parses a template file.
+	LoadTemplate = scenario.LoadTemplate
+	// ParseTemplate parses a template from JSON bytes.
+	ParseTemplate = scenario.ParseTemplate
+	// IsTemplateDoc reports whether a document declares a params block
+	// (parse it with ParseTemplate) or is a concrete scenario (Parse).
+	IsTemplateDoc = scenario.IsTemplate
+	// Sweep expands a template and analyses its grid over a bounded worker
+	// pool, deduping behaviourally isomorphic cells through the verdict
+	// cache. Cancellation yields a well-formed partial report.
+	Sweep = sweep.Run
+	// NewSweepCache returns an empty shared verdict cache.
+	NewSweepCache = sweep.NewCache
+	// SweepKeyFor computes the verdict-cache key of one workload.
+	SweepKeyFor = sweep.KeyFor
+)
+
+// Sweep cell statuses (SweepCellResult.Status).
+const (
+	SweepStatusDone      = sweep.StatusDone
+	SweepStatusError     = sweep.StatusError
+	SweepStatusCancelled = sweep.StatusCancelled
 )
 
 // Runs, process-time graphs and views.

@@ -23,12 +23,20 @@
 //	topocheck -sweep scenarios/sweep-lossbound-n2.json
 //	topocheck -sweep tpl.json -sweep-workers 8 -out report.json
 //	topocheck -sweep tpl.json -sweep-timeout 30s
+//	topocheck -sweep tpl.json -cache-dir ~/.cache/topocon/verdicts
 //	topocheck -sweep tpl.json -validate
 //
 // The sweep prints a per-cell table (verdict, separation horizon, runs
 // explored, cache hit/miss, wall time) plus summary statistics; -out
 // additionally writes the structured JSON report. The exit status is 1
 // when any cell errors or contradicts the template's pinned verdict.
+//
+// -cache-dir layers the in-memory verdict cache over a persistent
+// content-addressed store (internal/store): verdicts computed by earlier
+// runs — or by a topoconsvc daemon sharing the directory — are served
+// from disk (the table's cache column shows "disk"), and newly computed
+// ones are written back, so a scenario corpus accumulates one verdict
+// per behavioural class across processes.
 package main
 
 import (
@@ -51,6 +59,7 @@ func main() {
 		sweepPath    = flag.String("sweep", "", "parameterized template file (JSON with a params block): expand the grid and analyse every cell")
 		sweepWorkers = flag.Int("sweep-workers", 1, "with -sweep: number of concurrently analysed cells")
 		sweepTimeout = flag.Duration("sweep-timeout", 0, "with -sweep: per-cell analysis wall-time budget (0 = unbounded)")
+		cacheDir     = flag.String("cache-dir", "", "with -sweep: persistent verdict store directory — verdicts read through it and computed ones are written back, so isomorphic cells are solved once across runs and processes (shared with topoconsvc)")
 		out          = flag.String("out", "", "with -sweep: also write the structured JSON report to this file ('-' for stdout)")
 		list         = flag.Bool("list", false, "list the built-in scenarios and exit")
 		validate     = flag.Bool("validate", false, "with -scenario/-preset: check the automaton contract and print the fingerprint instead of analysing; with -sweep (or a -scenario path holding a template): do so for every expanded grid cell")
@@ -71,7 +80,7 @@ func main() {
 		return
 	}
 	if *sweepPath != "" {
-		runSweep(*sweepPath, *sweepWorkers, *sweepTimeout, *out, *validate, *verbose)
+		runSweep(*sweepPath, *sweepWorkers, *sweepTimeout, *cacheDir, *out, *validate, *verbose)
 		return
 	}
 	// -scenario -validate accepts either document kind: a template file is
@@ -79,7 +88,7 @@ func main() {
 	// walkers (CI) need no file classification of their own.
 	if *scen != "" && *validate {
 		if data, err := os.ReadFile(*scen); err == nil && topocon.IsTemplateDoc(data) {
-			runSweep(*scen, *sweepWorkers, *sweepTimeout, *out, true, *verbose)
+			runSweep(*scen, *sweepWorkers, *sweepTimeout, *cacheDir, *out, true, *verbose)
 			return
 		}
 	}
@@ -137,7 +146,7 @@ func main() {
 // with validate, through per-cell contract checking only). Exit status: 2
 // on configuration errors, 1 when any cell errors or contradicts a pinned
 // verdict, 130 on interrupt.
-func runSweep(path string, workers int, timeout time.Duration, out string, validate, verbose bool) {
+func runSweep(path string, workers int, timeout time.Duration, cacheDir, out string, validate, verbose bool) {
 	tpl, err := topocon.LoadTemplate(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "topocheck:", err)
@@ -163,6 +172,14 @@ func runSweep(path string, workers int, timeout time.Duration, out string, valid
 	cfg := topocon.SweepConfig{
 		Workers:     workers,
 		CellTimeout: timeout,
+	}
+	if cacheDir != "" {
+		st, err := topocon.OpenVerdictStore(cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "topocheck:", err)
+			os.Exit(2)
+		}
+		cfg.Cache = topocon.NewTieredSweepCache(st)
 	}
 	if verbose {
 		cfg.Progress = func(c topocon.SweepCellResult) {

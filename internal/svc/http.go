@@ -1,0 +1,229 @@
+package svc
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"topocon/internal/scenario"
+	"topocon/internal/sweep"
+)
+
+var (
+	errShutdown  = errors.New("svc: shutting down")
+	errQueueFull = errors.New("svc: job queue full")
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/jobs            submit a scenario or template document
+//	GET  /v1/jobs            list jobs (newest last)
+//	GET  /v1/jobs/{id}       job status, with the report once finished
+//	GET  /v1/jobs/{id}/events  progress stream (SSE; ?format=ndjson for lines)
+//	GET  /v1/verdicts/{key}  look up one verdict by canonical sweep key
+//	GET  /healthz            liveness (503 while shutting down)
+//	GET  /metrics            jobs / sessions / cache / store counters, JSON
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/verdicts/{key}", s.handleVerdict)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// submitResponse acknowledges an accepted job.
+type submitResponse struct {
+	ID     string `json:"id"`
+	Kind   string `json:"kind"`
+	Name   string `json:"name"`
+	Cells  int    `json:"cells"`
+	Status string `json:"status"`
+}
+
+// handleSubmit accepts a scenario or template JSON document as the request
+// body, validates it fully (bad documents are a 400 at the door, never a
+// failed job), and enqueues it.
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooLarge.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	j := &job{}
+	if scenario.IsTemplate(body) {
+		tpl, err := scenario.ParseTemplate(body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		// Expand now so a malformed grid is rejected here, not at run time.
+		if _, err := tpl.Expand(); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		j.kind, j.name, j.cells, j.tpl = "template", tpl.Name, tpl.CellCount(), tpl
+	} else {
+		sc, err := scenario.Parse(body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		j.kind, j.name, j.cells, j.sc = "scenario", sc.Name, 1, sc
+	}
+	switch err := s.submit(j); {
+	case errors.Is(err, errShutdown):
+		writeError(w, http.StatusServiceUnavailable, "shutting down")
+	case errors.Is(err, errQueueFull):
+		writeError(w, http.StatusTooManyRequests, "job queue full (%d queued)", s.cfg.MaxQueue)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	default:
+		w.Header().Set("Location", "/v1/jobs/"+j.id)
+		writeJSON(w, http.StatusAccepted, submitResponse{
+			ID: j.id, Kind: j.kind, Name: j.name, Cells: j.cells, Status: StatusQueued,
+		})
+	}
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	views := make([]JobView, 0, len(s.order))
+	for _, id := range s.order {
+		views = append(views, s.jobs[id].view())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+// handleEvents streams a job's progress events: the full log so far, then
+// live follow until the job finishes or the client goes away. Server-sent
+// events by default; `?format=ndjson` switches to one JSON object per line.
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	ndjson := r.URL.Query().Get("format") == "ndjson"
+	if ndjson {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	} else {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	}
+	flusher, _ := w.(http.Flusher)
+	seq := 0
+	for {
+		evts, changed, done := j.snapshot(seq)
+		for _, e := range evts {
+			data, err := json.Marshal(e)
+			if err != nil {
+				return
+			}
+			if ndjson {
+				fmt.Fprintf(w, "%s\n", data)
+			} else {
+				fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, data)
+			}
+			seq = e.Seq
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if done && len(evts) == 0 {
+			return
+		}
+		if done {
+			// Terminal event emitted; loop once more to confirm nothing
+			// trailed it, then return above.
+			continue
+		}
+		// Every accepted job gets a terminal event — even on shutdown the
+		// runners drain the queue and cancel-stamp each job — so waiting
+		// on the change channel always terminates.
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// verdictResponse is one stored verdict.
+type verdictResponse struct {
+	Key     string        `json:"key"`
+	Tier    string        `json:"tier"` // memory | disk
+	Outcome sweep.Outcome `json:"outcome"`
+}
+
+// handleVerdict serves one verdict by its canonical key encoding, probing
+// memory then the persistent store — never computing.
+func (s *Service) handleVerdict(w http.ResponseWriter, r *http.Request) {
+	key, err := sweep.ParseKey(r.PathValue("key"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	out, tier, ok := s.cache.Lookup(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no verdict for key")
+		return
+	}
+	writeJSON(w, http.StatusOK, verdictResponse{
+		Key:     key.String(),
+		Tier:    tier.String(),
+		Outcome: out,
+	})
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	closing := s.closing
+	s.mu.Unlock()
+	if closing {
+		writeError(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}

@@ -1,0 +1,504 @@
+// Package svc is the topoconsvc service core: an HTTP/JSON checker daemon
+// over the sweep engine and the persistent verdict store. It accepts
+// concrete-scenario and template submissions as jobs, runs them on a
+// bounded global session pool, streams per-cell and per-horizon progress,
+// and serves verdicts through the tiered cache (memory → disk → compute),
+// so answers survive restarts and accumulate across jobs and clients.
+//
+// The package is the testable half of cmd/topoconsvc: New builds a
+// Service from a Config, Handler returns its http.Handler, Shutdown
+// drains it. Tests drive the full HTTP surface through httptest without a
+// listener; the command adds flags, a listener and signal handling.
+package svc
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"topocon/internal/check"
+	"topocon/internal/scenario"
+	"topocon/internal/store"
+	"topocon/internal/sweep"
+)
+
+// Config tunes a Service. Zero values get defaults from New.
+type Config struct {
+	// StoreDir is the persistent verdict store directory. Empty runs the
+	// service memory-only (no disk tier) — useful in tests, pointless in
+	// production.
+	StoreDir string
+	// Workers is the global session-pool size: at most this many Analyzer
+	// sessions run at once across all jobs (≤ 0: 2).
+	Workers int
+	// MaxQueue bounds jobs accepted but not yet running; submissions
+	// beyond it are rejected with 429 (≤ 0: 64).
+	MaxQueue int
+	// MaxBodyBytes bounds a submission body (≤ 0: 1 MiB).
+	MaxBodyBytes int64
+	// CellParallelism is each session's Analyzer worker-pool size (≤ 0: 1).
+	CellParallelism int
+	// CellTimeout bounds one cell's analysis (0: unbounded).
+	CellTimeout time.Duration
+	// JobTimeout bounds one job's whole run (0: unbounded). A timed-out
+	// job keeps its finished cells as a partial report.
+	JobTimeout time.Duration
+	// MaxJobsRetained bounds the finished jobs kept for GET (≤ 0: 512);
+	// the oldest terminal jobs are evicted first. Verdicts themselves
+	// live in the cache and store, not in jobs.
+	MaxJobsRetained int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxJobsRetained <= 0 {
+		c.MaxJobsRetained = 512
+	}
+	return c
+}
+
+// Job statuses.
+const (
+	StatusQueued    = "queued"
+	StatusRunning   = "running"
+	StatusDone      = "done"      // ran to completion (cells may still carry errors)
+	StatusFailed    = "failed"    // job-level failure (timeout, expansion error)
+	StatusCancelled = "cancelled" // shutdown or client cancellation
+)
+
+// Event is one entry in a job's progress stream, delivered over SSE or
+// ndjson. Seq is 1-based and dense per job, so clients can resume.
+type Event struct {
+	Seq  int    `json:"seq"`
+	Type string `json:"type"` // queued|started|horizon|cell|done|failed|cancelled
+	Job  string `json:"job"`
+	Cell string `json:"cell,omitempty"`
+	// Horizon is set on "horizon" events (one per analysed horizon of a
+	// solving cell); Result on "cell" events (one per finished cell);
+	// Summary on terminal events; Error on "failed".
+	Horizon *HorizonProgress  `json:"horizon,omitempty"`
+	Result  *sweep.CellResult `json:"result,omitempty"`
+	Summary *sweep.Summary    `json:"summary,omitempty"`
+	Error   string            `json:"error,omitempty"`
+}
+
+// HorizonProgress is the wire form of one horizon's progress report.
+type HorizonProgress struct {
+	Horizon         int  `json:"horizon"`
+	Runs            int  `json:"runs"`
+	Components      int  `json:"components"`
+	MixedComponents int  `json:"mixedComponents"`
+	Broadcastable   bool `json:"broadcastable"`
+}
+
+// job is one submission's lifecycle: parsed document, status, event log.
+type job struct {
+	id        string
+	kind      string // "scenario" | "template"
+	name      string
+	cells     int
+	submitted time.Time
+	tpl       *scenario.Template
+	sc        *scenario.Scenario
+
+	mu       sync.Mutex
+	status   string
+	started  time.Time
+	finished time.Time
+	report   *sweep.Report
+	errMsg   string
+	events   []Event
+	changed  chan struct{} // closed and replaced on every append/status edge
+}
+
+// append adds events (assigning sequence numbers) and wakes streamers.
+func (j *job) append(evts ...Event) {
+	j.mu.Lock()
+	for _, e := range evts {
+		e.Seq = len(j.events) + 1
+		e.Job = j.id
+		j.events = append(j.events, e)
+	}
+	close(j.changed)
+	j.changed = make(chan struct{})
+	j.mu.Unlock()
+}
+
+// terminal reports whether a status is final.
+func terminal(status string) bool {
+	return status == StatusDone || status == StatusFailed || status == StatusCancelled
+}
+
+// snapshot returns the events after sequence number `after`, the channel
+// that closes on the next change, and whether the job is finished.
+func (j *job) snapshot(after int) ([]Event, chan struct{}, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var evts []Event
+	if after < len(j.events) {
+		evts = append(evts, j.events[after:]...)
+	}
+	return evts, j.changed, terminal(j.status)
+}
+
+// JobView is a job's wire representation.
+type JobView struct {
+	ID        string        `json:"id"`
+	Kind      string        `json:"kind"`
+	Name      string        `json:"name"`
+	Cells     int           `json:"cells"`
+	Status    string        `json:"status"`
+	Submitted time.Time     `json:"submitted"`
+	Started   *time.Time    `json:"started,omitempty"`
+	Finished  *time.Time    `json:"finished,omitempty"`
+	Error     string        `json:"error,omitempty"`
+	Report    *sweep.Report `json:"report,omitempty"`
+}
+
+func (j *job) view() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:        j.id,
+		Kind:      j.kind,
+		Name:      j.name,
+		Cells:     j.cells,
+		Status:    j.status,
+		Submitted: j.submitted,
+		Error:     j.errMsg,
+		Report:    j.report,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	return v
+}
+
+// Service is the daemon: store, tiered cache, session pool, job queue.
+type Service struct {
+	cfg   Config
+	store *store.Store // nil when StoreDir is empty
+	cache *sweep.Cache
+	slots chan struct{}
+	queue chan *job
+
+	rootCtx context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu      sync.Mutex
+	closing bool
+	jobs    map[string]*job
+	order   []string // submission order, for eviction and listing
+	nextID  int
+
+	analyzersBuilt atomic.Int64
+	jobsSubmitted  atomic.Int64
+	jobsRejected   atomic.Int64
+}
+
+// New opens the store (when configured), builds the tiered cache and the
+// session pool, and starts the runner goroutines.
+func New(cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:   cfg,
+		slots: make(chan struct{}, cfg.Workers),
+		queue: make(chan *job, cfg.MaxQueue),
+		jobs:  make(map[string]*job),
+	}
+	if cfg.StoreDir != "" {
+		st, err := store.Open(cfg.StoreDir)
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+		s.cache = sweep.NewTieredCache(st)
+	} else {
+		s.cache = sweep.NewCache()
+	}
+	s.rootCtx, s.cancel = context.WithCancel(context.Background())
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.runner()
+	}
+	return s, nil
+}
+
+// Store returns the persistent store, or nil when running memory-only.
+func (s *Service) Store() *store.Store { return s.store }
+
+// Cache returns the service's verdict cache.
+func (s *Service) Cache() *sweep.Cache { return s.cache }
+
+// AnalyzersConstructed returns the number of Analyzer sessions this
+// process has built — the observable cost the cache tiers avoid.
+func (s *Service) AnalyzersConstructed() int64 { return s.analyzersBuilt.Load() }
+
+// submit validates ordering invariants and enqueues a parsed job.
+// The caller has already parsed and validated the document.
+func (s *Service) submit(j *job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closing {
+		return errShutdown
+	}
+	// The job must be fully initialized — id, status, event log — before it
+	// is visible to a runner; a runner may dequeue it the instant the send
+	// below succeeds.
+	s.nextID++
+	j.id = fmt.Sprintf("j-%06d", s.nextID)
+	j.status = StatusQueued
+	j.changed = make(chan struct{})
+	j.submitted = time.Now()
+	j.append(Event{Type: "queued"})
+	select {
+	case s.queue <- j:
+	default:
+		s.jobsRejected.Add(1)
+		return errQueueFull
+	}
+	s.jobsSubmitted.Add(1)
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.evictLocked()
+	return nil
+}
+
+// evictLocked drops the oldest terminal jobs beyond the retention bound.
+func (s *Service) evictLocked() {
+	excess := len(s.order) - s.cfg.MaxJobsRetained
+	if excess <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		j.mu.Lock()
+		evictable := terminal(j.status)
+		j.mu.Unlock()
+		if excess > 0 && evictable {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// lookup returns a job by id.
+func (s *Service) lookup(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// runner executes queued jobs until the queue closes at shutdown.
+func (s *Service) runner() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob drives one job through the sweep engine, recording progress
+// events and classifying the terminal status.
+func (s *Service) runJob(j *job) {
+	ctx := s.rootCtx
+	if s.cfg.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+		defer cancel()
+	}
+	j.mu.Lock()
+	j.status = StatusRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+	j.append(Event{Type: "started"})
+
+	cfg := sweep.Config{
+		// Workers feeds cells to the shared pool; Slots bounds how many
+		// actually hold sessions at once, across every concurrent job.
+		Workers:         s.cfg.Workers,
+		CellParallelism: s.cfg.CellParallelism,
+		CellTimeout:     s.cfg.CellTimeout,
+		Cache:           s.cache,
+		Slots:           s.slots,
+		OnAnalyzerBuilt: func(string) { s.analyzersBuilt.Add(1) },
+		Progress: func(c sweep.CellResult) {
+			j.append(Event{Type: "cell", Cell: c.Name, Result: &c})
+		},
+		CellProgress: func(cell string, r check.HorizonReport) {
+			j.append(Event{Type: "horizon", Cell: cell, Horizon: &HorizonProgress{
+				Horizon:         r.Horizon,
+				Runs:            r.Runs,
+				Components:      r.Components,
+				MixedComponents: r.MixedComponents,
+				Broadcastable:   r.Broadcastable,
+			}})
+		},
+	}
+
+	var report *sweep.Report
+	var err error
+	if j.tpl != nil {
+		report, err = sweep.Run(ctx, j.tpl, cfg)
+	} else {
+		report, err = sweep.RunScenario(ctx, j.sc, cfg)
+	}
+
+	status := StatusDone
+	errMsg := ""
+	switch {
+	case err == nil:
+	case ctx.Err() != nil && s.rootCtx.Err() != nil:
+		status = StatusCancelled
+		errMsg = "service shutting down"
+	case ctx.Err() != nil:
+		status = StatusFailed
+		errMsg = fmt.Sprintf("job timeout after %v", s.cfg.JobTimeout)
+	default:
+		status = StatusFailed
+		errMsg = err.Error()
+	}
+
+	j.mu.Lock()
+	j.status = status
+	j.finished = time.Now()
+	j.report = report // may be a well-formed partial report on cancel/timeout
+	j.errMsg = errMsg
+	j.mu.Unlock()
+	evt := Event{Type: status, Error: errMsg}
+	if report != nil {
+		sum := report.Summary
+		evt.Summary = &sum
+	}
+	j.append(evt)
+}
+
+// Shutdown stops accepting submissions, cancels in-flight jobs (the
+// engine winds each down to a well-formed partial report), and waits for
+// the runners to drain, up to the context's deadline.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.closing
+	s.closing = true
+	if !already {
+		close(s.queue) // submit holds s.mu, so no send can race this close
+	}
+	s.mu.Unlock()
+	s.cancel()
+	if already {
+		return nil
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("svc: shutdown: %w", ctx.Err())
+	}
+}
+
+// Metrics is the /metrics document.
+type Metrics struct {
+	Jobs     JobMetrics     `json:"jobs"`
+	Sessions SessionMetrics `json:"sessions"`
+	Cache    CacheMetrics   `json:"cache"`
+	Store    *store.Stats   `json:"store,omitempty"`
+}
+
+// JobMetrics counts jobs by lifecycle state.
+type JobMetrics struct {
+	Submitted int64 `json:"submitted"`
+	Rejected  int64 `json:"rejected"`
+	Queued    int   `json:"queued"`
+	Running   int   `json:"running"`
+	Done      int   `json:"done"`
+	Failed    int   `json:"failed"`
+	Cancelled int   `json:"cancelled"`
+}
+
+// SessionMetrics describes the global session pool.
+type SessionMetrics struct {
+	PoolSize             int   `json:"poolSize"`
+	Busy                 int   `json:"busy"`
+	AnalyzersConstructed int64 `json:"analyzersConstructed"`
+}
+
+// CacheMetrics describes the tiered verdict cache.
+type CacheMetrics struct {
+	Keys          int   `json:"keys"`
+	MemoryHits    int64 `json:"memoryHits"`
+	DiskHits      int64 `json:"diskHits"`
+	Computes      int64 `json:"computes"`
+	TierPutErrors int64 `json:"tierPutErrors"`
+}
+
+// Metrics gathers the current metrics document.
+func (s *Service) Metrics() Metrics {
+	s.mu.Lock()
+	jm := JobMetrics{
+		Submitted: s.jobsSubmitted.Load(),
+		Rejected:  s.jobsRejected.Load(),
+	}
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		switch j.status {
+		case StatusQueued:
+			jm.Queued++
+		case StatusRunning:
+			jm.Running++
+		case StatusDone:
+			jm.Done++
+		case StatusFailed:
+			jm.Failed++
+		case StatusCancelled:
+			jm.Cancelled++
+		}
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+	cs := s.cache.Stats()
+	m := Metrics{
+		Jobs: jm,
+		Sessions: SessionMetrics{
+			PoolSize:             cap(s.slots),
+			Busy:                 len(s.slots),
+			AnalyzersConstructed: s.analyzersBuilt.Load(),
+		},
+		Cache: CacheMetrics{
+			Keys:          s.cache.Len(),
+			MemoryHits:    cs.MemoryHits,
+			DiskHits:      cs.DiskHits,
+			Computes:      cs.Computes,
+			TierPutErrors: cs.TierPutErrors,
+		},
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		m.Store = &st
+	}
+	return m
+}

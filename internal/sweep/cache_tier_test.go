@@ -1,0 +1,283 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"topocon/internal/check"
+	"topocon/internal/ma"
+	"topocon/internal/scenario"
+)
+
+// fakeTier is an in-memory Tier with fault injection and call accounting.
+type fakeTier struct {
+	mu      sync.Mutex
+	m       map[Key]Outcome
+	gets    int
+	puts    int
+	failPut bool
+}
+
+func newFakeTier() *fakeTier { return &fakeTier{m: map[Key]Outcome{}} }
+
+func (f *fakeTier) Get(k Key) (Outcome, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.gets++
+	out, ok := f.m[k]
+	return out, ok
+}
+
+func (f *fakeTier) Put(k Key, out Outcome) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.puts++
+	if f.failPut {
+		return errors.New("tier full")
+	}
+	f.m[k] = out
+	return nil
+}
+
+func testKey(t *testing.T, maxHorizon int) Key {
+	t.Helper()
+	key, err := KeyFor(ma.LossyLink2(), check.Options{MaxHorizon: maxHorizon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return key
+}
+
+// TestTieredCacheReadThrough: memory → disk → compute, with origin-based
+// attribution — a key served by the persistent tier stays attributed to
+// disk on later memory-resident hits, so "served from the persistent
+// corpus" is observable per answer.
+func TestTieredCacheReadThrough(t *testing.T) {
+	tier := newFakeTier()
+	key := testKey(t, 3)
+	want := Outcome{Verdict: check.VerdictSolvable, Horizon: 3, Runs: 7}
+	tier.m[key] = want
+
+	c := NewTieredCache(tier)
+	solve := func() (Outcome, error) {
+		t.Fatal("solve ran despite a tier hit")
+		return Outcome{}, nil
+	}
+	for i, wantTier := range []HitTier{TierDisk, TierDisk} {
+		out, tierGot, err := c.Do(context.Background(), key, solve)
+		if err != nil || out.Verdict != want.Verdict || out.Horizon != want.Horizon || out.Runs != want.Runs {
+			t.Fatalf("Do #%d = %+v, %v", i, out, err)
+		}
+		if tierGot != wantTier {
+			t.Fatalf("Do #%d attributed %v, want %v", i, tierGot, wantTier)
+		}
+	}
+	if tier.gets != 1 {
+		t.Errorf("tier probed %d times, want once (promotion into memory)", tier.gets)
+	}
+	st := c.Stats()
+	if st.DiskHits != 2 || st.MemoryHits != 0 || st.Computes != 0 {
+		t.Errorf("stats = %+v, want 2 disk hits only", st)
+	}
+}
+
+// TestTieredCacheWriteBehind: a computed outcome lands in the tier; a
+// second cache over the same tier serves it from disk without solving —
+// the restart scenario in miniature.
+func TestTieredCacheWriteBehind(t *testing.T) {
+	tier := newFakeTier()
+	key := testKey(t, 3)
+	want := Outcome{Verdict: check.VerdictImpossible, Horizon: 2}
+
+	c1 := NewTieredCache(tier)
+	out, hitTier, err := c1.Do(context.Background(), key, func() (Outcome, error) { return want, nil })
+	if err != nil || out.Verdict != want.Verdict || hitTier != TierNone {
+		t.Fatalf("compute pass = %+v, %v, %v", out, hitTier, err)
+	}
+	if got, ok := tier.m[key]; !ok || got.Verdict != want.Verdict {
+		t.Fatalf("tier not written behind: %+v, %v", got, ok)
+	}
+
+	c2 := NewTieredCache(tier)
+	out, hitTier, err = c2.Do(context.Background(), key, func() (Outcome, error) {
+		t.Fatal("restarted cache recomputed a persisted key")
+		return Outcome{}, nil
+	})
+	if err != nil || out.Verdict != want.Verdict || hitTier != TierDisk {
+		t.Fatalf("restart pass = %+v, %v, %v", out, hitTier, err)
+	}
+}
+
+// TestTieredCacheErrorHandling: context errors are retracted and never
+// persisted; deterministic errors are memory-cached but never persisted;
+// tier Put failures are counted, not fatal.
+func TestTieredCacheErrorHandling(t *testing.T) {
+	tier := newFakeTier()
+	key := testKey(t, 3)
+	c := NewTieredCache(tier)
+
+	_, _, err := c.Do(context.Background(), key, func() (Outcome, error) {
+		return Outcome{}, context.DeadlineExceeded
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if c.Len() != 0 || tier.puts != 0 {
+		t.Fatalf("context error was cached or persisted: len %d, puts %d", c.Len(), tier.puts)
+	}
+
+	detErr := errors.New("bad configuration")
+	_, _, err = c.Do(context.Background(), key, func() (Outcome, error) { return Outcome{}, detErr })
+	if !errors.Is(err, detErr) {
+		t.Fatalf("err = %v", err)
+	}
+	if c.Len() != 1 {
+		t.Fatal("deterministic error not memory-cached")
+	}
+	if tier.puts != 0 {
+		t.Fatal("deterministic error persisted to the tier")
+	}
+
+	key2 := testKey(t, 4)
+	tier.failPut = true
+	if _, _, err := c.Do(context.Background(), key2, func() (Outcome, error) {
+		return Outcome{Verdict: check.VerdictUnknown}, nil
+	}); err != nil {
+		t.Fatalf("tier put failure leaked into the solve: %v", err)
+	}
+	if st := c.Stats(); st.TierPutErrors != 1 {
+		t.Fatalf("stats = %+v, want 1 tier put error", st)
+	}
+}
+
+// TestCacheLookup: Lookup answers from memory or the tier without solving
+// and without blocking on an in-flight leader.
+func TestCacheLookup(t *testing.T) {
+	tier := newFakeTier()
+	keyDisk, keyMem, keyMissing := testKey(t, 3), testKey(t, 4), testKey(t, 5)
+	tier.m[keyDisk] = Outcome{Verdict: check.VerdictSolvable}
+	c := NewTieredCache(tier)
+
+	if _, tierGot, ok := c.Lookup(keyDisk); !ok || tierGot != TierDisk {
+		t.Fatalf("disk lookup = %v, %v", tierGot, ok)
+	}
+	if _, _, err := c.Do(context.Background(), keyMem, func() (Outcome, error) {
+		return Outcome{Verdict: check.VerdictUnknown}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, tierGot, ok := c.Lookup(keyMem); !ok || tierGot != TierMemory {
+		t.Fatalf("memory lookup = %v, %v", tierGot, ok)
+	}
+	if _, _, ok := c.Lookup(keyMissing); ok {
+		t.Fatal("missing key reported found")
+	}
+
+	// An in-flight leader must not block Lookup: start a solve that waits,
+	// Lookup concurrently, then release the leader.
+	keyInflight := testKey(t, 6)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.Do(context.Background(), keyInflight, func() (Outcome, error) {
+			close(started)
+			<-release
+			return Outcome{}, nil
+		})
+	}()
+	<-started
+	if _, _, ok := c.Lookup(keyInflight); ok {
+		t.Error("Lookup returned an unfinished in-flight solve")
+	}
+	close(release)
+	<-done
+}
+
+// TestSweepSharedSlots: a shared session-pool semaphore of capacity 1
+// serializes cell sessions across an 8-worker sweep — per-horizon progress
+// of different cells never interleaves, because each cell holds its slot
+// for its whole session.
+func TestSweepSharedSlots(t *testing.T) {
+	// Distinct horizons → distinct keys → every cell solves (no hits).
+	tpl := mustTemplate(t, `{
+	  "name": "slots",
+	  "params": {"horizon": "3..6"},
+	  "n": 2,
+	  "adversary": {"op": "loss-bounded", "f": 1},
+	  "check": {"maxHorizon": "${horizon}"}
+	}`)
+	var order []string
+	report, err := Run(context.Background(), tpl, Config{
+		Workers: 8,
+		Slots:   make(chan struct{}, 1),
+		CellProgress: func(cell string, _ check.HorizonReport) {
+			order = append(order, cell)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Summary.Done != 4 || report.Summary.CacheMisses != 4 {
+		t.Fatalf("summary = %+v", report.Summary)
+	}
+	// Grouped sequence: once a new cell name appears, earlier names are done.
+	seen := map[string]bool{}
+	last := ""
+	for _, cell := range order {
+		if cell != last {
+			if seen[cell] {
+				t.Fatalf("cell sessions interleaved under a 1-slot pool: %v", order)
+			}
+			seen[cell] = true
+			last = cell
+		}
+	}
+	if len(seen) != 4 {
+		t.Fatalf("progress covered %d cells, want 4: %v", len(seen), order)
+	}
+}
+
+// TestRunScenarioSingleCell: a concrete scenario runs as a one-cell grid
+// through the same cache, so CLIs and the daemon share one corpus across
+// document kinds.
+func TestRunScenarioSingleCell(t *testing.T) {
+	doc := fmt.Sprintf(`{
+	  "name": "lossy3-direct",
+	  "n": 2,
+	  "graphs": {"L": "2->1", "R": "1->2", "B": "1<->2"},
+	  "adversary": {"op": "oblivious", "graphs": ["L", "R", "B"]},
+	  "check": {"maxHorizon": %d},
+	  "expect": "impossible"
+	}`, 4)
+	sc, err := scenario.Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCache()
+	first, err := RunScenario(context.Background(), sc, Config{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Cells) != 1 || first.Cells[0].Verdict != "impossible" || first.Cells[0].CacheHit {
+		t.Fatalf("first run = %+v", first.Cells)
+	}
+	if first.Summary.Mismatches != 0 || first.Summary.Done != 1 {
+		t.Fatalf("first summary = %+v", first.Summary)
+	}
+	second, err := RunScenario(context.Background(), sc, Config{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := second.Cells[0]; !c.CacheHit || c.CacheTier != "memory" || c.Verdict != "impossible" {
+		t.Fatalf("second run not served from memory: %+v", c)
+	}
+	if !strings.Contains(second.Table(), "lossy3-direct") {
+		t.Error("table lacks the scenario name")
+	}
+}

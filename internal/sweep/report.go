@@ -32,8 +32,11 @@ type CellResult struct {
 	Expect string `json:"expect,omitempty"`
 	Match  *bool  `json:"match,omitempty"`
 	// CacheHit reports that the verdict came from the cache, including
-	// waiting on a concurrent solve of the same key.
-	CacheHit bool `json:"cacheHit"`
+	// waiting on a concurrent solve of the same key; CacheTier attributes
+	// its origin ("memory": solved earlier in this process, "disk": served
+	// by the persistent verdict store; empty for misses).
+	CacheHit  bool   `json:"cacheHit"`
+	CacheTier string `json:"cacheTier,omitempty"`
 	// WallMillis is this cell's wall-clock cost (≈ 0 for cache hits).
 	WallMillis float64 `json:"wallMillis"`
 	// Notes carries checker anomalies; Err the failure for Status error.
@@ -53,10 +56,14 @@ type Summary struct {
 	Unknown    int `json:"unknown"`
 	Mismatches int `json:"mismatches"`
 
-	// CacheHits + CacheMisses = Done; DistinctKeys is the number of keys
-	// the cache ended up holding (grid-wide when the cache is per-sweep,
-	// global when shared across sweeps).
+	// CacheHits + CacheMisses = Done; MemoryHits + DiskHits = CacheHits
+	// (disk hits are verdicts that originated in the persistent store);
+	// DistinctKeys is the number of keys the cache ended up holding
+	// (grid-wide when the cache is per-sweep, global when shared across
+	// sweeps).
 	CacheHits    int `json:"cacheHits"`
+	MemoryHits   int `json:"memoryHits"`
+	DiskHits     int `json:"diskHits"`
 	CacheMisses  int `json:"cacheMisses"`
 	DistinctKeys int `json:"distinctKeys"`
 }
@@ -86,9 +93,14 @@ func summarize(cells []CellResult, cache *Cache) Summary {
 		switch c.Status {
 		case StatusDone:
 			s.Done++
-			if c.CacheHit {
+			switch c.CacheTier {
+			case TierMemory.String():
 				s.CacheHits++
-			} else {
+				s.MemoryHits++
+			case TierDisk.String():
+				s.CacheHits++
+				s.DiskHits++
+			default:
 				s.CacheMisses++
 			}
 			switch c.Verdict {
@@ -150,8 +162,11 @@ func (r *Report) Table() string {
 			mark = " MISMATCH(expect " + c.Expect + ")"
 		}
 		cache := "miss"
-		if c.CacheHit {
+		switch c.CacheTier {
+		case "memory":
 			cache = "hit"
+		case "disk":
+			cache = "disk"
 		}
 		if c.Status != StatusDone {
 			cache = "-"
@@ -171,8 +186,8 @@ func (r *Report) Table() string {
 	if s.Done > 0 {
 		hitRate = 100 * float64(s.CacheHits) / float64(s.Done)
 	}
-	fmt.Fprintf(&sb, "cache %d hits / %d misses (%.0f%% hit rate, %d distinct keys)  |  wall %.1fms with %d workers\n",
-		s.CacheHits, s.CacheMisses, hitRate, s.DistinctKeys, r.WallMillis, r.Workers)
+	fmt.Fprintf(&sb, "cache %d hits / %d misses (%.0f%% hit rate, %d memory + %d disk, %d distinct keys)  |  wall %.1fms with %d workers\n",
+		s.CacheHits, s.CacheMisses, hitRate, s.MemoryHits, s.DiskHits, s.DistinctKeys, r.WallMillis, r.Workers)
 	return sb.String()
 }
 

@@ -6,10 +6,15 @@
 // budgets, windows past the horizon, symmetric graph relabelings), and the
 // cache turns each class into one solve plus cheap hits.
 //
+// The cache reads through an optional persistent tier (memory → disk →
+// compute; see Cache and internal/store), so verdicts survive processes
+// and accumulate across runs — the substrate of both `topocheck -sweep
+// -cache-dir` and the topoconsvc daemon.
+//
 // Results land in a structured Report: per-cell verdict, separation
-// horizon, runs explored, wall time and cache attribution, plus grid-level
-// summary statistics; the report marshals to JSON and renders as a human
-// table.
+// horizon, runs explored, wall time and cache-tier attribution, plus
+// grid-level summary statistics; the report marshals to JSON and renders
+// as a human table.
 package sweep
 
 import (
@@ -48,15 +53,26 @@ type Config struct {
 	// Progress, when set, is invoked with each finished cell's result, in
 	// completion order, serialized by the engine.
 	Progress func(CellResult)
+	// CellProgress, when set, receives per-horizon progress of every cell
+	// this run actually solves (cache misses), keyed by the cell's name.
+	// Calls are serialized by the engine together with Progress. Cache hits
+	// produce no horizon progress — their sessions never run.
+	CellProgress func(cell string, rep check.HorizonReport)
+	// OnAnalyzerBuilt, when set, observes every Analyzer construction this
+	// run performs (i.e. every cache miss actually solved), keyed by
+	// fingerprint. The service's metrics and the race-checked dedup tests
+	// count constructions through this seam.
+	OnAnalyzerBuilt func(fingerprint string)
 	// Cache, when set, is shared with (and reused across) other sweeps;
-	// nil runs with a fresh per-sweep cache.
+	// nil runs with a fresh per-sweep cache. Build it with NewTieredCache
+	// to back it with a persistent verdict store.
 	Cache *Cache
+	// Slots, when non-nil, is a shared session-pool semaphore: every cell
+	// acquires a slot before running and releases it afterwards, so one
+	// bounded pool can span many concurrent sweeps (the daemon's global
+	// session pool). Its capacity, not Workers, then bounds concurrency.
+	Slots chan struct{}
 }
-
-// analyzerBuilt is a test seam: when non-nil it observes every Analyzer
-// construction the engine performs (i.e. every cache miss actually solved),
-// keyed by fingerprint. The concurrency tests count constructions per key.
-var analyzerBuilt func(fingerprint string)
 
 // Run expands the template and analyses its grid under the config. On
 // cancellation it returns the partial report together with the context
@@ -73,6 +89,27 @@ func Run(ctx context.Context, tpl *scenario.Template, cfg Config) (*Report, erro
 		Workers:  workers(cfg),
 		Cells:    make([]CellResult, len(cells)),
 	}
+	runGrid(ctx, cells, cfg, report)
+	return report, ctx.Err()
+}
+
+// RunScenario analyses one concrete (non-template) scenario through the
+// same engine as a single-cell grid: the cell goes through the config's
+// cache, session-pool slot, timeout and progress machinery exactly like a
+// template cell, so daemons and CLIs can serve both document kinds with
+// one code path and one shared verdict corpus.
+func RunScenario(ctx context.Context, sc *scenario.Scenario, cfg Config) (*Report, error) {
+	report := &Report{
+		Template: sc.Name,
+		Workers:  workers(cfg),
+		Cells:    make([]CellResult, 1),
+	}
+	runGrid(ctx, []scenario.Cell{{Scenario: sc}}, cfg, report)
+	return report, ctx.Err()
+}
+
+// runGrid drives the cells and fills the report's timing and summary.
+func runGrid(ctx context.Context, cells []scenario.Cell, cfg Config, report *Report) {
 	cache := cfg.Cache
 	if cache == nil {
 		cache = NewCache()
@@ -81,7 +118,6 @@ func Run(ctx context.Context, tpl *scenario.Template, cfg Config) (*Report, erro
 	runCells(ctx, cells, cfg, cache, report.Cells)
 	report.WallMillis = millis(time.Since(start))
 	report.Summary = summarize(report.Cells, cache)
-	return report, ctx.Err()
 }
 
 func workers(cfg Config) int {
@@ -96,6 +132,17 @@ type sweepState struct {
 	cfg        Config
 	cache      *Cache
 	progressMu sync.Mutex
+}
+
+// horizonProgress relays one solving cell's per-horizon report, serialized
+// with the cell-completion callback.
+func (st *sweepState) horizonProgress(cell string, rep check.HorizonReport) {
+	if st.cfg.CellProgress == nil {
+		return
+	}
+	st.progressMu.Lock()
+	st.cfg.CellProgress(cell, rep)
+	st.progressMu.Unlock()
 }
 
 // runCells drives the worker pool over the grid, writing each cell's result
@@ -118,7 +165,21 @@ func runCells(ctx context.Context, cells []scenario.Cell, cfg Config, cache *Cac
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				results[i] = st.runCell(ctx, cells[i])
+				if cfg.Slots != nil {
+					// The shared session pool bounds concurrency across
+					// sweeps; a cancellation while queued leaves the cell's
+					// pre-marked cancelled result in place.
+					select {
+					case cfg.Slots <- struct{}{}:
+					case <-ctx.Done():
+						continue
+					}
+				}
+				res := st.runCell(ctx, cells[i])
+				if cfg.Slots != nil {
+					<-cfg.Slots
+				}
+				results[i] = res
 				if cfg.Progress != nil {
 					st.progressMu.Lock()
 					cfg.Progress(results[i])
@@ -169,11 +230,12 @@ func (st *sweepState) runCell(ctx context.Context, cell scenario.Cell) CellResul
 		cellCtx, cancel = context.WithTimeout(ctx, st.cfg.CellTimeout)
 		defer cancel()
 	}
-	out, hit, err := st.cache.Do(cellCtx, key, func() (Outcome, error) {
-		return solveCell(cellCtx, sc, st.cfg.CellParallelism, key.Fingerprint)
+	out, tier, err := st.cache.Do(cellCtx, key, func() (Outcome, error) {
+		return st.solveCell(cellCtx, sc, key.Fingerprint)
 	})
 	res.WallMillis = millis(time.Since(start))
-	res.CacheHit = hit
+	res.CacheHit = tier != TierNone
+	res.CacheTier = tier.String()
 	switch {
 	case err == nil:
 		res.Verdict = out.Verdict.String()
@@ -204,7 +266,8 @@ func (st *sweepState) runCell(ctx context.Context, cell scenario.Cell) CellResul
 }
 
 // solveCell is the cache-miss path: one full Analyzer session.
-func solveCell(ctx context.Context, sc *scenario.Scenario, parallelism int, fingerprint string) (Outcome, error) {
+func (st *sweepState) solveCell(ctx context.Context, sc *scenario.Scenario, fingerprint string) (Outcome, error) {
+	parallelism := st.cfg.CellParallelism
 	if parallelism <= 0 {
 		parallelism = 1
 	}
@@ -212,12 +275,15 @@ func solveCell(ctx context.Context, sc *scenario.Scenario, parallelism int, fing
 	an, err := check.NewAnalyzer(sc.Adversary,
 		check.WithOptions(sc.Options),
 		check.WithParallelism(parallelism),
-		check.WithProgress(func(r check.HorizonReport) { runs = r.Runs }))
+		check.WithProgress(func(r check.HorizonReport) {
+			runs = r.Runs
+			st.horizonProgress(sc.Name, r)
+		}))
 	if err != nil {
 		return Outcome{}, err
 	}
-	if analyzerBuilt != nil {
-		analyzerBuilt(fingerprint)
+	if st.cfg.OnAnalyzerBuilt != nil {
+		st.cfg.OnAnalyzerBuilt(fingerprint)
 	}
 	res, err := an.Check(ctx)
 	if err != nil {

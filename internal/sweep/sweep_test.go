@@ -161,13 +161,14 @@ func TestSweepCacheSolvesKeyOnce(t *testing.T) {
 	for round := 0; round < 5; round++ {
 		var mu sync.Mutex
 		built := map[string]int{}
-		analyzerBuilt = func(fp string) {
-			mu.Lock()
-			built[fp]++
-			mu.Unlock()
-		}
-		report, err := Run(context.Background(), tpl, Config{Workers: 8})
-		analyzerBuilt = nil
+		report, err := Run(context.Background(), tpl, Config{
+			Workers: 8,
+			OnAnalyzerBuilt: func(fp string) {
+				mu.Lock()
+				built[fp]++
+				mu.Unlock()
+			},
+		})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -56,6 +56,7 @@ import (
 	"topocon/internal/ptg"
 	"topocon/internal/scenario"
 	"topocon/internal/sim"
+	"topocon/internal/store"
 	"topocon/internal/sweep"
 	"topocon/internal/topo"
 )
@@ -219,8 +220,26 @@ type (
 	SweepCache = sweep.Cache
 	// SweepKey identifies one unit of solvability work up to behavioural
 	// isomorphism: (adversary fingerprint, resolved options, certificate
-	// eligibility).
+	// eligibility). Its String method renders the versioned canonical
+	// encoding (parse it back with ParseSweepKey).
 	SweepKey = sweep.Key
+	// SweepOutcome is one cached/stored verdict: the solved fields of a
+	// cell, independent of which scenario asked.
+	SweepOutcome = sweep.Outcome
+	// SweepTier is a persistent cache tier under a SweepCache (the verdict
+	// store implements it).
+	SweepTier = sweep.Tier
+	// SweepHitTier attributes a cache answer to its origin tier.
+	SweepHitTier = sweep.HitTier
+	// SweepCacheStats counts a cache's hits by tier, computes and tier
+	// write failures.
+	SweepCacheStats = sweep.CacheStats
+	// VerdictStore is the disk-backed content-addressed verdict store:
+	// one checksummed record per SweepKey, written atomically, quarantined
+	// when corrupt. It implements SweepTier.
+	VerdictStore = store.Store
+	// VerdictStoreStats sizes a store (records, bytes, quarantined).
+	VerdictStoreStats = store.Stats
 )
 
 var (
@@ -235,10 +254,24 @@ var (
 	// pool, deduping behaviourally isomorphic cells through the verdict
 	// cache. Cancellation yields a well-formed partial report.
 	Sweep = sweep.Run
+	// SweepScenario analyses one concrete scenario through the sweep
+	// engine as a single-cell grid, sharing the same cache, session-pool
+	// and progress machinery as template sweeps.
+	SweepScenario = sweep.RunScenario
 	// NewSweepCache returns an empty shared verdict cache.
 	NewSweepCache = sweep.NewCache
+	// NewTieredSweepCache returns a cache layered over a persistent tier:
+	// memory → tier → compute, with write-behind of computed verdicts.
+	NewTieredSweepCache = sweep.NewTieredCache
 	// SweepKeyFor computes the verdict-cache key of one workload.
 	SweepKeyFor = sweep.KeyFor
+	// ParseSweepKey parses a canonical key encoding (SweepKey.String),
+	// strictly: accepted inputs re-encode byte-identically.
+	ParseSweepKey = sweep.ParseKey
+	// OpenVerdictStore opens (creating if needed) a verdict store
+	// directory and loads its record index; corrupt records are
+	// quarantined, never fatal.
+	OpenVerdictStore = store.Open
 )
 
 // Sweep cell statuses (SweepCellResult.Status).
@@ -247,6 +280,16 @@ const (
 	SweepStatusError     = sweep.StatusError
 	SweepStatusCancelled = sweep.StatusCancelled
 )
+
+// Cache-hit origin tiers (SweepCellResult.CacheTier renders these).
+const (
+	SweepTierNone   = sweep.TierNone
+	SweepTierMemory = sweep.TierMemory
+	SweepTierDisk   = sweep.TierDisk
+)
+
+// SweepKeyEncodingVersion is the canonical key encoding's version tag.
+const SweepKeyEncodingVersion = sweep.KeyEncodingVersion
 
 // Runs, process-time graphs and views.
 type (

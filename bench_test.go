@@ -345,6 +345,49 @@ func BenchmarkExtendColumnar(b *testing.B) {
 	}
 }
 
+// BenchmarkExtendPaged measures the BenchmarkAnalyzerIncremental horizon
+// walk with the frontier paged under a small hot-set budget (4 KiB — a
+// fraction of the all-hot horizon-7 frontier): cold rounds spill to page
+// files and fault back on demand, so the delta against the incremental
+// bench is the page-IO overhead of out-of-core extension. Each iteration
+// gets a fresh page directory so spills are never served by files a
+// previous iteration wrote.
+func BenchmarkExtendPaged(b *testing.B) {
+	b.ReportAllocs()
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		pg, err := topocon.NewPager(topocon.PagerConfig{
+			Dir:      b.TempDir(), // fresh per iteration: spills must write, not skip
+			HotBytes: 4 << 10,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		an, err := topocon.NewAnalyzer(topocon.LossyLink2(),
+			topocon.WithMaxHorizon(benchMaxHorizon), topocon.WithPager(pg))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			rep, err := an.Step(ctx)
+			if errors.Is(err, topocon.ErrHorizonExhausted) {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			sinkInt = rep.Components
+		}
+		if an.Horizon() != benchMaxHorizon {
+			b.Fatalf("stopped at horizon %d", an.Horizon())
+		}
+		st := pg.Stats()
+		if st.PagesSpilled == 0 {
+			b.Fatal("budget never forced a spill; the bench is not measuring paging")
+		}
+	}
+}
+
 // BenchmarkRefineVsDecompose isolates the per-horizon decomposition cost
 // of a session walking LossyLink2 horizons 1..benchMaxHorizon: "decompose"
 // re-buckets every horizon from scratch (topocon.DecomposeCtx, the

@@ -72,6 +72,9 @@ func main() {
 		workers      = flag.Int("workers", 1, "worker-pool size for frontier expansion and decomposition")
 		retain       = flag.Int("retain", 1, "prefix spaces kept alive besides the separation horizon's (bounds session memory); 0 retains every horizon")
 		verbose      = flag.Bool("v", false, "print per-horizon decomposition statistics as the session refines (with -sweep: per-cell progress lines)")
+		ckptDir      = flag.String("checkpoint-dir", "", "checkpoint/resume directory: the session checkpoints there as it refines and a rerun resumes from the last completed horizon instead of starting over; with -sweep: per-cell checkpoints under it")
+		ckptEvery    = flag.Int("checkpoint-every", 1, "with -checkpoint-dir: checkpoint cadence in horizons")
+		hotBytes     = flag.Int64("pager-hot-bytes", 0, "with -checkpoint-dir: frontier hot-set budget in bytes — colder rounds spill to page files and fault back on demand (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -79,8 +82,9 @@ func main() {
 		listScenarios()
 		return
 	}
+	ckpt := ckptFlags{dir: *ckptDir, every: *ckptEvery, hotBytes: *hotBytes}
 	if *sweepPath != "" {
-		runSweep(*sweepPath, *sweepWorkers, *sweepTimeout, *cacheDir, *out, *validate, *verbose)
+		runSweep(*sweepPath, *sweepWorkers, *sweepTimeout, *cacheDir, *out, *validate, *verbose, ckpt)
 		return
 	}
 	// -scenario -validate accepts either document kind: a template file is
@@ -88,7 +92,7 @@ func main() {
 	// walkers (CI) need no file classification of their own.
 	if *scen != "" && *validate {
 		if data, err := os.ReadFile(*scen); err == nil && topocon.IsTemplateDoc(data) {
-			runSweep(*scen, *sweepWorkers, *sweepTimeout, *cacheDir, *out, true, *verbose)
+			runSweep(*scen, *sweepWorkers, *sweepTimeout, *cacheDir, *out, true, *verbose, ckpt)
 			return
 		}
 	}
@@ -109,6 +113,11 @@ func main() {
 	// the next frontier chunk instead of killing the process mid-print.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if ckpt.dir != "" {
+		runCheckpointed(ctx, adv, opts, ckpt, *workers, *verbose)
+		return
+	}
 
 	anOpts := []topocon.AnalyzerOption{
 		topocon.WithCheckOptions(opts),
@@ -142,11 +151,58 @@ func main() {
 	fmt.Print(res.Summary())
 }
 
+// ckptFlags bundles the checkpoint/paging flags shared by the session and
+// sweep paths.
+type ckptFlags struct {
+	dir      string
+	every    int
+	hotBytes int64
+}
+
+// runCheckpointed drives one scenario to a verdict with checkpoint/resume:
+// the session checkpoints into dir as it refines, an interrupted run saves
+// its last completed horizon, and a rerun resumes there — re-extending
+// nothing it already analysed. Exit status mirrors the plain path (130 on
+// interrupt), plus 1 on hard checkpoint mismatches.
+func runCheckpointed(ctx context.Context, adv topocon.Adversary, opts topocon.CheckOptions, ck ckptFlags, workers int, verbose bool) {
+	cfg := topocon.CheckpointConfig{Dir: ck.dir, HotBytes: ck.hotBytes, Every: ck.every}
+	if verbose {
+		fmt.Println("horizon  runs  components  mixed  broadcastable    elapsed")
+		cfg.OnHorizon = func(r topocon.HorizonReport) {
+			fmt.Printf("%7d  %4d  %10d  %5d  %13v  %9v\n",
+				r.Horizon, r.Runs, r.Components, r.MixedComponents, r.Broadcastable, r.Elapsed)
+		}
+	}
+	res, info, err := topocon.RunCheckpointed(ctx, adv, cfg, opts, workers)
+	if info.Resumed {
+		fmt.Fprintf(os.Stderr, "topocheck: resumed at horizon %d from %s\n", info.ResumedAt, ck.dir)
+	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "topocheck: interrupted; %d checkpoint(s) written to %s — rerun to resume\n",
+				info.Written, ck.dir)
+			os.Exit(130)
+		}
+		fmt.Fprintln(os.Stderr, "topocheck:", err)
+		os.Exit(1)
+	}
+	if info.SaveErr != nil {
+		fmt.Fprintf(os.Stderr, "topocheck: warning: mid-run checkpointing failed: %v\n", info.SaveErr)
+	}
+	if verbose {
+		fmt.Println()
+		st := info.PagerStats
+		fmt.Fprintf(os.Stderr, "paging: %d spilled / %d faulted, peak hot %d B; %d checkpoints written\n",
+			st.PagesSpilled, st.PagesFaulted, st.PeakHotBytes, info.Written)
+	}
+	fmt.Print(res.Summary())
+}
+
 // runSweep drives a parameterized template through the sweep engine (or,
 // with validate, through per-cell contract checking only). Exit status: 2
 // on configuration errors, 1 when any cell errors or contradicts a pinned
 // verdict, 130 on interrupt.
-func runSweep(path string, workers int, timeout time.Duration, cacheDir, out string, validate, verbose bool) {
+func runSweep(path string, workers int, timeout time.Duration, cacheDir, out string, validate, verbose bool, ck ckptFlags) {
 	tpl, err := topocon.LoadTemplate(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "topocheck:", err)
@@ -170,8 +226,11 @@ func runSweep(path string, workers int, timeout time.Duration, cacheDir, out str
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	cfg := topocon.SweepConfig{
-		Workers:     workers,
-		CellTimeout: timeout,
+		Workers:         workers,
+		CellTimeout:     timeout,
+		CheckpointDir:   ck.dir,
+		CheckpointEvery: ck.every,
+		PagerHotBytes:   ck.hotBytes,
 	}
 	if cacheDir != "" {
 		st, err := topocon.OpenVerdictStore(cacheDir)

@@ -15,6 +15,9 @@
 //   - the done-cell disk-tier hit rate is below -min-disk-hit-rate,
 //   - the service constructed more than -max-constructions Analyzer
 //     sessions over its lifetime (-1 disables the bound),
+//   - the service resumed fewer than -min-resumed-jobs jobs from a
+//     predecessor's leftover checkpoint documents (-1 disables; with no
+//     input files the client only asserts metrics, for post-restart CI),
 //   - /healthz is not 200 after the run.
 //
 // 429 (queue full) submissions are retried with backoff, so the client
@@ -84,6 +87,13 @@ type metricsView struct {
 		Records     int `json:"records"`
 		Quarantined int `json:"quarantined"`
 	} `json:"store"`
+	Paging *struct {
+		JobsResumed        int64 `json:"jobsResumed"`
+		PagesSpilled       int64 `json:"pagesSpilled"`
+		PagesFaulted       int64 `json:"pagesFaulted"`
+		CheckpointsWritten int64 `json:"checkpointsWritten"`
+		CellsResumed       int64 `json:"cellsResumed"`
+	} `json:"paging"`
 }
 
 // tally aggregates the replay outcome across jobs.
@@ -116,12 +126,13 @@ func main() {
 		minDiskHitRate = flag.Float64("min-disk-hit-rate", -1, "minimum fraction of done cells served from the disk tier (-1 disables)")
 		maxConstructs  = flag.Int64("max-constructions", -1, "maximum Analyzer constructions reported by /metrics (-1 disables)")
 		allowErrors    = flag.Bool("allow-errors", false, "tolerate cell errors and verdict mismatches")
+		minResumed     = flag.Int64("min-resumed-jobs", -1, "minimum jobs the service re-submitted from a predecessor's leftover documents, per /metrics (-1 disables); with no input files the client only asserts metrics")
 		timeout        = flag.Duration("timeout", 2*time.Minute, "per-job completion deadline")
 		verbose        = flag.Bool("v", false, "log each job as it completes")
 	)
 	flag.Parse()
 	files := flag.Args()
-	if len(files) == 0 {
+	if len(files) == 0 && *minResumed < 0 {
 		fmt.Fprintln(os.Stderr, "topoconload: no input files")
 		os.Exit(2)
 	}
@@ -165,6 +176,10 @@ func main() {
 	if m.Store != nil {
 		fmt.Printf("topoconload: store: %d records, %d quarantined\n", m.Store.Records, m.Store.Quarantined)
 	}
+	if m.Paging != nil {
+		fmt.Printf("topoconload: paging: %d spilled / %d faulted, %d checkpoints written; %d cells and %d jobs resumed\n",
+			m.Paging.PagesSpilled, m.Paging.PagesFaulted, m.Paging.CheckpointsWritten, m.Paging.CellsResumed, m.Paging.JobsResumed)
+	}
 
 	if !*allowErrors && (t.errors > 0 || t.mismatches > 0) {
 		t.fail("%d cell errors, %d verdict mismatches", t.errors, t.mismatches)
@@ -177,6 +192,15 @@ func main() {
 	}
 	if *maxConstructs >= 0 && m.Sessions.AnalyzersConstructed > *maxConstructs {
 		t.fail("service constructed %d analyzers, bound is %d", m.Sessions.AnalyzersConstructed, *maxConstructs)
+	}
+	if *minResumed >= 0 {
+		var resumed int64
+		if m.Paging != nil {
+			resumed = m.Paging.JobsResumed
+		}
+		if resumed < *minResumed {
+			t.fail("service resumed %d jobs, required at least %d", resumed, *minResumed)
+		}
 	}
 	if len(t.failures) > 0 {
 		for _, f := range t.failures {

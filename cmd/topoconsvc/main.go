@@ -48,6 +48,9 @@ func main() {
 		cellTimeout = flag.Duration("cell-timeout", 0, "per-cell analysis wall-time budget (0 = unbounded)")
 		jobTimeout  = flag.Duration("job-timeout", 0, "per-job wall-time budget (0 = unbounded)")
 		grace       = flag.Duration("grace", 30*time.Second, "shutdown grace period for draining in-flight jobs")
+		ckptDir     = flag.String("checkpoint-dir", "", "durability directory: per-cell session checkpoints and accepted job documents; leftover jobs are re-submitted at startup (empty = off)")
+		ckptEvery   = flag.Int("checkpoint-every", 1, "cell checkpoint cadence in horizons (with -checkpoint-dir)")
+		hotBytes    = flag.Int64("pager-hot-bytes", 0, "per-cell frontier hot-set budget in bytes; colder rounds spill to the checkpoint dir (0 = unlimited, with -checkpoint-dir)")
 	)
 	flag.Parse()
 	if *storeDir == "" {
@@ -64,12 +67,22 @@ func main() {
 		CellParallelism: *cellPar,
 		CellTimeout:     *cellTimeout,
 		JobTimeout:      *jobTimeout,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
+		PagerHotBytes:   *hotBytes,
 	})
 	if err != nil {
 		log.Fatalf("topoconsvc: %v", err)
 	}
 	st := service.Store().Stats()
 	log.Printf("topoconsvc: store %s: %d verdicts (%d bytes), %d quarantined", st.Dir, st.Records, st.Bytes, st.Quarantined)
+	if *ckptDir != "" {
+		if m := service.Metrics(); m.Paging != nil && m.Paging.JobsResumed > 0 {
+			log.Printf("topoconsvc: checkpoint dir %s: re-submitted %d unfinished job(s)", *ckptDir, m.Paging.JobsResumed)
+		} else {
+			log.Printf("topoconsvc: checkpoint dir %s: no unfinished jobs", *ckptDir)
+		}
+	}
 
 	server := &http.Server{Addr: *addr, Handler: service.Handler()}
 	errc := make(chan error, 1)

@@ -8,6 +8,7 @@ import (
 
 	"topocon/internal/baseline"
 	"topocon/internal/ma"
+	"topocon/internal/pager"
 	"topocon/internal/topo"
 )
 
@@ -97,9 +98,20 @@ func WithRetainSpaces(k int) AnalyzerOption {
 }
 
 // WithProgress registers a callback invoked after every analysed horizon,
-// from the goroutine running Step or Check.
+// from the goroutine running Step or Check. The callback fires after the
+// horizon's state is fully committed, so it is the safe hook for periodic
+// checkpoints (Snapshot).
 func WithProgress(fn func(HorizonReport)) AnalyzerOption {
 	return func(a *Analyzer) { a.progress = fn }
+}
+
+// WithPager attaches an out-of-core pager to the session: frontier rounds
+// that stop being the newest are spilled to the pager's page directory and
+// evicted under its hot-set budget, chain walks fault them back in
+// transparently, and the session becomes checkpointable (Snapshot) and
+// SpaceAt can rehydrate evicted horizons. One pager serves one session.
+func WithPager(pg *pager.Pager) AnalyzerOption {
+	return func(a *Analyzer) { a.pager = pg }
 }
 
 // WithOptions bulk-applies a legacy Options struct; later options override
@@ -126,6 +138,7 @@ type Analyzer struct {
 	parallelism int
 	retain      int // spaces kept besides the separation horizon; 0 = all
 	progress    func(HorizonReport)
+	pager       *pager.Pager // nil = all-hot, not checkpointable
 
 	// spaces[t] is the horizon-t prefix space, or nil once evicted by the
 	// retention policy; retained spaces all share one interner.
@@ -180,14 +193,29 @@ func (a *Analyzer) Horizon() int {
 // SpaceAt returns the retained prefix space at horizon t, or nil if that
 // horizon has not been analysed or was evicted by the retention policy
 // (WithRetainSpaces): by default only the deepest space and, once found,
-// the separation-horizon space are served; every earlier horizon returns
-// nil. All returned spaces share one interner, so views are comparable
-// across horizons and with the compiled decision map.
+// the separation-horizon space are served. With a pager attached
+// (WithPager), an evicted horizon is rehydrated from the spilled frontier
+// pages instead — automaton states replayed from the base, O(chain) page
+// reads — and the rehydrated space is not cached: every call pays the
+// rehydration, and dropping the result releases the memory again. Without
+// a pager, evicted horizons return nil, as before. All returned spaces
+// share one interner, so views are comparable across horizons and with the
+// compiled decision map.
 func (a *Analyzer) SpaceAt(t int) *topo.Space {
 	if t < 0 || t >= len(a.spaces) {
 		return nil
 	}
-	return a.spaces[t]
+	if s := a.spaces[t]; s != nil {
+		return s
+	}
+	if a.pager != nil && a.cur != nil && t <= a.cur.Horizon {
+		s, err := a.cur.AncestorAt(t)
+		if err != nil {
+			return nil
+		}
+		return s
+	}
+	return nil
 }
 
 // RetainedHorizons returns the horizons whose spaces are still alive, in
@@ -215,6 +243,12 @@ func (a *Analyzer) DecisionMap() *DecisionMap { return a.res.Map }
 // are meaningful.
 func (a *Analyzer) Result() *Result { return a.res }
 
+// Finished reports whether Check has produced its final verdict.
+func (a *Analyzer) Finished() bool { return a.finished }
+
+// Pager returns the pager attached with WithPager, or nil.
+func (a *Analyzer) Pager() *pager.Pager { return a.pager }
+
 // Step advances the session by exactly one horizon: it extends the prefix
 // space incrementally by one round, decomposes it — incrementally too,
 // refining the previous horizon's partition via topo.Decomposition.Refine
@@ -237,6 +271,7 @@ func (a *Analyzer) Step(ctx context.Context) (HorizonReport, error) {
 		base, err := topo.BuildCtx(ctx, a.adv, a.opts.InputDomain, 0, topo.Config{
 			MaxRuns:     a.opts.MaxRuns,
 			Parallelism: a.parallelism,
+			Pager:       a.pager,
 		})
 		if err != nil {
 			return HorizonReport{}, fmt.Errorf("check: horizon 0: %w", err)

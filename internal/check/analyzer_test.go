@@ -8,6 +8,7 @@ import (
 
 	"topocon/internal/graph"
 	"topocon/internal/ma"
+	"topocon/internal/pager"
 	"topocon/internal/topo"
 )
 
@@ -343,6 +344,38 @@ func TestAnalyzerRetention(t *testing.T) {
 	t.Run("negative", func(t *testing.T) {
 		if _, err := NewAnalyzer(ma.LossyLink2(), WithRetainSpaces(-1)); err == nil {
 			t.Error("negative retention: want error")
+		}
+	})
+	// With a pager attached, SpaceAt rehydrates evicted horizons from the
+	// spilled frontier pages instead of returning nil; the retained set
+	// itself stays as small as before.
+	t.Run("pager-rehydrates", func(t *testing.T) {
+		pg, err := pager.New(pager.Config{Dir: t.TempDir(), HotBytes: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := runDeep(t, WithPager(pg))
+		if retained := a.RetainedHorizons(); len(retained) > 2 {
+			t.Fatalf("pager session retains %d spaces (%v), want at most 2", len(retained), retained)
+		}
+		for horizon := 0; horizon <= maxHorizon; horizon++ {
+			s := a.SpaceAt(horizon)
+			if s == nil {
+				t.Fatalf("SpaceAt(%d) = nil with pager attached", horizon)
+			}
+			if s.Horizon != horizon {
+				t.Fatalf("SpaceAt(%d) rehydrated horizon %d", horizon, s.Horizon)
+			}
+			want, err := topo.Build(ma.LossyLink2(), 2, horizon, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Len() != want.Len() {
+				t.Errorf("SpaceAt(%d): %d items, from-scratch build has %d", horizon, s.Len(), want.Len())
+			}
+		}
+		if a.SpaceAt(maxHorizon+1) != nil {
+			t.Error("SpaceAt beyond the analysed horizon served a space")
 		}
 	})
 }

@@ -1,0 +1,86 @@
+package ptg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Export serializes the interner's key arena in ID order: uvarint count,
+// then for each ViewID 0..count-1 the uvarint-length-prefixed canonical key
+// encoding. Because IDs are dense and assigned in insertion order,
+// re-interning the exported keys in order into a fresh interner reproduces
+// the identical ID assignment — the determinism checkpoint/resume rests on.
+//
+// Export is safe to call concurrently with interning; it captures the IDs
+// assigned before the call (views interned concurrently may or may not be
+// included, but the exported prefix is always self-consistent).
+func (in *Interner) Export() []byte {
+	count := in.next.Load()
+	type exported struct {
+		id  ViewID
+		key []byte
+	}
+	all := make([]exported, 0, count)
+	for si := range in.shards {
+		sh := &in.shards[si]
+		sh.mu.Lock()
+		entries := sh.entries
+		arena := sh.arena
+		sh.mu.Unlock()
+		// entries and arena are append-only: the captured headers cover an
+		// immutable prefix even if interning continues concurrently.
+		for ei := range entries {
+			e := &entries[ei]
+			if e.id < ViewID(count) {
+				all = append(all, exported{id: e.id, key: arena[e.off : e.off+e.klen]})
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
+	size := binary.MaxVarintLen64
+	for _, e := range all {
+		size += binary.MaxVarintLen32 + len(e.key)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.AppendUvarint(buf, uint64(len(all)))
+	for _, e := range all {
+		buf = binary.AppendUvarint(buf, uint64(len(e.key)))
+		buf = append(buf, e.key...)
+	}
+	return buf
+}
+
+// ImportInterner rebuilds an interner from an Export payload, verifying
+// that re-interning reproduces the dense ID sequence exactly. Any framing
+// violation or ID mismatch is an error; a partially-imported interner is
+// never returned.
+func ImportInterner(data []byte) (*Interner, error) {
+	count, k := binary.Uvarint(data)
+	if k <= 0 {
+		return nil, fmt.Errorf("ptg: interner import: bad count")
+	}
+	if count > 1<<31-1 {
+		return nil, fmt.Errorf("ptg: interner import: count %d out of range", count)
+	}
+	data = data[k:]
+	in := NewInterner()
+	for i := uint64(0); i < count; i++ {
+		klen, k := binary.Uvarint(data)
+		if k <= 0 || klen > uint64(len(data)-k) {
+			return nil, fmt.Errorf("ptg: interner import: bad key length at id %d", i)
+		}
+		key := data[k : k+int(klen)]
+		data = data[k+int(klen):]
+		if len(key) == 0 {
+			return nil, fmt.Errorf("ptg: interner import: empty key at id %d", i)
+		}
+		if id := in.intern(key); id != ViewID(i) {
+			return nil, fmt.Errorf("ptg: interner import: key %d re-interned as id %d (duplicate key?)", i, id)
+		}
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("ptg: interner import: %d trailing bytes", len(data))
+	}
+	return in, nil
+}

@@ -7,7 +7,6 @@ import (
 	"io"
 	"net/http"
 
-	"topocon/internal/scenario"
 	"topocon/internal/sweep"
 )
 
@@ -77,26 +76,10 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "reading body: %v", err)
 		return
 	}
-	j := &job{}
-	if scenario.IsTemplate(body) {
-		tpl, err := scenario.ParseTemplate(body)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-		// Expand now so a malformed grid is rejected here, not at run time.
-		if _, err := tpl.Expand(); err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-		j.kind, j.name, j.cells, j.tpl = "template", tpl.Name, tpl.CellCount(), tpl
-	} else {
-		sc, err := scenario.Parse(body)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-		j.kind, j.name, j.cells, j.sc = "scenario", sc.Name, 1, sc
+	j, err := buildJob(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
 	}
 	switch err := s.submit(j); {
 	case errors.Is(err, errShutdown):

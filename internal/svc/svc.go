@@ -14,6 +14,9 @@ package svc
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -49,6 +52,20 @@ type Config struct {
 	// the oldest terminal jobs are evicted first. Verdicts themselves
 	// live in the cache and store, not in jobs.
 	MaxJobsRetained int
+	// CheckpointDir, when set, makes the daemon's work durable across
+	// restarts: every solving cell checkpoints into
+	// CheckpointDir/cells/<content address> (resuming mid-session after a
+	// crash, see internal/ckpt), and every accepted job document is
+	// persisted under CheckpointDir/jobs/ until the job reaches a verdict —
+	// at startup leftover documents are re-submitted automatically and
+	// counted in the metrics' resumed-jobs gauge.
+	CheckpointDir string
+	// CheckpointEvery is the per-cell checkpoint cadence in horizons
+	// (≤ 0: 1). Only meaningful with CheckpointDir.
+	CheckpointEvery int
+	// PagerHotBytes is each checkpointed cell's pager hot-set budget
+	// (≤ 0: unlimited). Only meaningful with CheckpointDir.
+	PagerHotBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -110,6 +127,8 @@ type job struct {
 	submitted time.Time
 	tpl       *scenario.Template
 	sc        *scenario.Scenario
+	doc       []byte // raw submission body, persisted under CheckpointDir/jobs
+	resumed   bool   // re-submitted from a previous daemon's leftover document
 
 	mu       sync.Mutex
 	status   string
@@ -151,6 +170,31 @@ func (j *job) snapshot(after int) ([]Event, chan struct{}, bool) {
 	return evts, j.changed, terminal(j.status)
 }
 
+// buildJob parses a raw submission document into an unqueued job,
+// validating it fully (including template expansion, so a malformed grid
+// is rejected up front, never as a failed job). Both the HTTP submit path
+// and startup job resume go through here.
+func buildJob(body []byte) (*job, error) {
+	j := &job{doc: append([]byte(nil), body...)}
+	if scenario.IsTemplate(body) {
+		tpl, err := scenario.ParseTemplate(body)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := tpl.Expand(); err != nil {
+			return nil, err
+		}
+		j.kind, j.name, j.cells, j.tpl = "template", tpl.Name, tpl.CellCount(), tpl
+	} else {
+		sc, err := scenario.Parse(body)
+		if err != nil {
+			return nil, err
+		}
+		j.kind, j.name, j.cells, j.sc = "scenario", sc.Name, 1, sc
+	}
+	return j, nil
+}
+
 // JobView is a job's wire representation.
 type JobView struct {
 	ID        string        `json:"id"`
@@ -158,6 +202,7 @@ type JobView struct {
 	Name      string        `json:"name"`
 	Cells     int           `json:"cells"`
 	Status    string        `json:"status"`
+	Resumed   bool          `json:"resumed,omitempty"`
 	Submitted time.Time     `json:"submitted"`
 	Started   *time.Time    `json:"started,omitempty"`
 	Finished  *time.Time    `json:"finished,omitempty"`
@@ -174,6 +219,7 @@ func (j *job) view() JobView {
 		Name:      j.name,
 		Cells:     j.cells,
 		Status:    j.status,
+		Resumed:   j.resumed,
 		Submitted: j.submitted,
 		Error:     j.errMsg,
 		Report:    j.report,
@@ -210,6 +256,10 @@ type Service struct {
 	analyzersBuilt atomic.Int64
 	jobsSubmitted  atomic.Int64
 	jobsRejected   atomic.Int64
+	jobsResumed    atomic.Int64
+
+	pagingMu sync.Mutex
+	paging   sweep.PagingSummary // cumulative across finished jobs
 }
 
 // New opens the store (when configured), builds the tiered cache and the
@@ -236,6 +286,9 @@ func New(cfg Config) (*Service, error) {
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
 		go s.runner()
+	}
+	if cfg.CheckpointDir != "" {
+		s.resumeJobs()
 	}
 	return s, nil
 }
@@ -276,8 +329,88 @@ func (s *Service) submit(j *job) error {
 	s.jobsSubmitted.Add(1)
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
+	s.persistJob(j)
 	s.evictLocked()
 	return nil
+}
+
+// jobDocExt names persisted job documents: <id>.job under jobsDir.
+const jobDocExt = ".job"
+
+func (s *Service) jobsDir() string { return filepath.Join(s.cfg.CheckpointDir, "jobs") }
+
+// persistJob writes the job's raw submission document under the checkpoint
+// dir (atomically, via temp+rename) so a restarted daemon can re-submit
+// it. Best-effort: a write failure costs restart durability for this job,
+// not the job itself.
+func (s *Service) persistJob(j *job) {
+	if s.cfg.CheckpointDir == "" || len(j.doc) == 0 {
+		return
+	}
+	dir := s.jobsDir()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	tmp := filepath.Join(dir, j.id+jobDocExt+".tmp")
+	if err := os.WriteFile(tmp, j.doc, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, filepath.Join(dir, j.id+jobDocExt))
+}
+
+// unpersistJob removes a job's persisted document once it has reached a
+// verdict (done or failed). Cancelled jobs keep theirs: shutdown is
+// exactly the case restart resume exists for.
+func (s *Service) unpersistJob(j *job) {
+	if s.cfg.CheckpointDir == "" {
+		return
+	}
+	_ = os.Remove(filepath.Join(s.jobsDir(), j.id+jobDocExt))
+}
+
+// resumeJobs re-submits job documents left behind by an earlier daemon —
+// jobs that had not reached a verdict when the process died or shut down.
+// Their cells then continue from the per-cell sweep checkpoints. Documents
+// that no longer parse are renamed aside (.bad), never deleted.
+func (s *Service) resumeJobs() {
+	entries, err := os.ReadDir(s.jobsDir())
+	if err != nil {
+		return
+	}
+	// Advance nextID past every leftover id first, so re-submitted jobs get
+	// fresh ids and persistJob can never collide with (and then delete) a
+	// leftover document of the same name.
+	for _, e := range entries {
+		var n int
+		if _, err := fmt.Sscanf(e.Name(), "j-%06d"+jobDocExt, &n); err == nil {
+			s.mu.Lock()
+			if n > s.nextID {
+				s.nextID = n
+			}
+			s.mu.Unlock()
+		}
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), jobDocExt) {
+			continue
+		}
+		path := filepath.Join(s.jobsDir(), e.Name())
+		body, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		j, err := buildJob(body)
+		if err != nil {
+			_ = os.Rename(path, path+".bad")
+			continue
+		}
+		j.resumed = true
+		if err := s.submit(j); err != nil {
+			continue // keep the document; the next restart retries
+		}
+		s.jobsResumed.Add(1)
+		_ = os.Remove(path) // submit persisted it again under the new id
+	}
 }
 
 // evictLocked drops the oldest terminal jobs beyond the retention bound.
@@ -355,6 +488,13 @@ func (s *Service) runJob(j *job) {
 			}})
 		},
 	}
+	if s.cfg.CheckpointDir != "" {
+		// Cell checkpoints are content-addressed by sweep key, so one cells/
+		// dir is safely shared by every job, past and concurrent.
+		cfg.CheckpointDir = filepath.Join(s.cfg.CheckpointDir, "cells")
+		cfg.CheckpointEvery = s.cfg.CheckpointEvery
+		cfg.PagerHotBytes = s.cfg.PagerHotBytes
+	}
 
 	var report *sweep.Report
 	var err error
@@ -379,6 +519,15 @@ func (s *Service) runJob(j *job) {
 		errMsg = err.Error()
 	}
 
+	if report != nil {
+		s.addPaging(report.Summary.Paging)
+	}
+	if status != StatusCancelled {
+		// Done and failed jobs have their verdict; cancelled ones keep their
+		// document so the next daemon re-submits them. Cleanup precedes the
+		// status flip so an observed terminal status implies it happened.
+		s.unpersistJob(j)
+	}
 	j.mu.Lock()
 	j.status = status
 	j.finished = time.Now()
@@ -421,12 +570,31 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	}
 }
 
+// addPaging folds one finished job's paging gauges into the service-wide
+// totals (sums, except HotBytes which tracks the largest single-cell peak).
+func (s *Service) addPaging(p sweep.PagingSummary) {
+	if p == (sweep.PagingSummary{}) {
+		return
+	}
+	s.pagingMu.Lock()
+	s.paging.PagesSpilled += p.PagesSpilled
+	s.paging.PagesFaulted += p.PagesFaulted
+	if p.HotBytes > s.paging.HotBytes {
+		s.paging.HotBytes = p.HotBytes
+	}
+	s.paging.CheckpointsWritten += p.CheckpointsWritten
+	s.paging.CellsResumed += p.CellsResumed
+	s.pagingMu.Unlock()
+}
+
 // Metrics is the /metrics document.
 type Metrics struct {
 	Jobs     JobMetrics     `json:"jobs"`
 	Sessions SessionMetrics `json:"sessions"`
 	Cache    CacheMetrics   `json:"cache"`
 	Store    *store.Stats   `json:"store,omitempty"`
+	// Paging is present whenever the daemon runs with a CheckpointDir.
+	Paging *PagingMetrics `json:"paging,omitempty"`
 }
 
 // JobMetrics counts jobs by lifecycle state.
@@ -454,6 +622,14 @@ type CacheMetrics struct {
 	DiskHits      int64 `json:"diskHits"`
 	Computes      int64 `json:"computes"`
 	TierPutErrors int64 `json:"tierPutErrors"`
+}
+
+// PagingMetrics aggregates out-of-core traffic across finished jobs, plus
+// the jobs this daemon re-submitted from a predecessor's leftover
+// documents at startup.
+type PagingMetrics struct {
+	sweep.PagingSummary
+	JobsResumed int64 `json:"jobsResumed"`
 }
 
 // Metrics gathers the current metrics document.
@@ -499,6 +675,12 @@ func (s *Service) Metrics() Metrics {
 	if s.store != nil {
 		st := s.store.Stats()
 		m.Store = &st
+	}
+	if s.cfg.CheckpointDir != "" {
+		s.pagingMu.Lock()
+		pm := PagingMetrics{PagingSummary: s.paging, JobsResumed: s.jobsResumed.Load()}
+		s.pagingMu.Unlock()
+		m.Paging = &pm
 	}
 	return m
 }

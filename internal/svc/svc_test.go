@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -226,6 +228,117 @@ func TestRestartResubmitServesFromDisk(t *testing.T) {
 		if vr.Tier != "disk" || vr.Key != key.String() {
 			t.Fatalf("verdict = %+v", vr)
 		}
+	}
+}
+
+// jobDocs lists the persisted job documents under a checkpoint dir.
+func jobDocs(t *testing.T, checkpointDir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(filepath.Join(checkpointDir, "jobs"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), jobDocExt) {
+			names = append(names, e.Name())
+		}
+	}
+	return names
+}
+
+// TestJobResumeAcrossRestart pins job durability: an accepted job's
+// document lives under CheckpointDir/jobs until the job reaches a verdict;
+// a daemon that starts over leftover documents (a predecessor died mid-job)
+// re-submits them, marks them resumed, and reports the count in /metrics.
+func TestJobResumeAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Workers: 1, CheckpointDir: dir, PagerHotBytes: 1}
+
+	// A job that completes leaves no document behind.
+	h1 := newHarness(t, cfg)
+	code, ack := h1.submit(lossyScenario("before-restart"))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	if v := h1.await(ack.ID); v.Status != StatusDone {
+		t.Fatalf("first job = %+v", v)
+	}
+	if docs := jobDocs(t, dir); len(docs) != 0 {
+		t.Fatalf("documents left after a done job: %v", docs)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := h1.svc.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	h1.ts.Close()
+
+	// Simulate a daemon killed mid-job: an accepted document still on disk.
+	// (A SIGKILL can't be staged deterministically in-process, so the
+	// leftover is planted directly — it is just the raw submission body.)
+	jobsDir := filepath.Join(dir, "jobs")
+	if err := os.MkdirAll(jobsDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeDoc := func(name, body string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(jobsDir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeDoc("j-000007.job", lossyScenario("killed-mid-run"))
+	writeDoc("j-000002.job", "{not a document") // corrupt leftover
+
+	h2 := newHarness(t, cfg)
+	var list struct {
+		Jobs []JobView `json:"jobs"`
+	}
+	if code := h2.getJSON("/v1/jobs", &list); code != http.StatusOK {
+		t.Fatalf("GET /v1/jobs: status %d", code)
+	}
+	var resumed *JobView
+	for i := range list.Jobs {
+		if list.Jobs[i].Resumed {
+			resumed = &list.Jobs[i]
+		}
+	}
+	if resumed == nil {
+		t.Fatalf("no resumed job in %+v", list.Jobs)
+	}
+	// Re-submitted jobs get ids past every leftover's, so their documents
+	// can never collide with files the resume scan is still consuming.
+	if resumed.ID <= "j-000007" {
+		t.Fatalf("resumed job id %s not past the leftover's", resumed.ID)
+	}
+	v := h2.await(resumed.ID)
+	if v.Status != StatusDone || !v.Resumed {
+		t.Fatalf("resumed job = %+v", v)
+	}
+	if v.Report == nil || len(v.Report.Cells) != 1 || v.Report.Cells[0].Verdict != "impossible" {
+		t.Fatalf("resumed job report = %+v", v.Report)
+	}
+
+	m := h2.metrics()
+	if m.Paging == nil {
+		t.Fatal("no paging section in /metrics despite CheckpointDir")
+	}
+	if m.Paging.JobsResumed != 1 {
+		t.Fatalf("jobsResumed = %d, want 1", m.Paging.JobsResumed)
+	}
+	if m.Paging.CheckpointsWritten == 0 || m.Paging.PagesSpilled == 0 {
+		t.Fatalf("paging gauges never moved: %+v", m.Paging)
+	}
+	// The corrupt leftover was renamed aside, not deleted or resubmitted.
+	if _, err := os.Stat(filepath.Join(jobsDir, "j-000002.job.bad")); err != nil {
+		t.Fatalf("corrupt document not quarantined: %v", err)
+	}
+	// The resumed job's fresh document was removed once it finished.
+	if docs := jobDocs(t, dir); len(docs) != 0 {
+		t.Fatalf("documents left after resume: %v", docs)
 	}
 }
 

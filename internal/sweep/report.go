@@ -37,6 +37,9 @@ type CellResult struct {
 	// by the persistent verdict store; empty for misses).
 	CacheHit  bool   `json:"cacheHit"`
 	CacheTier string `json:"cacheTier,omitempty"`
+	// Resumed reports that this cell's session was resumed from a
+	// checkpoint left by an earlier killed run (Config.CheckpointDir).
+	Resumed bool `json:"resumed,omitempty"`
 	// WallMillis is this cell's wall-clock cost (≈ 0 for cache hits).
 	WallMillis float64 `json:"wallMillis"`
 	// Notes carries checker anomalies; Err the failure for Status error.
@@ -66,6 +69,25 @@ type Summary struct {
 	DiskHits     int `json:"diskHits"`
 	CacheMisses  int `json:"cacheMisses"`
 	DistinctKeys int `json:"distinctKeys"`
+
+	// Paging aggregates the solved cells' out-of-core traffic; all-zero
+	// (and omitted from JSON) for sweeps without a CheckpointDir.
+	Paging PagingSummary `json:"paging,omitzero"`
+}
+
+// PagingSummary aggregates paging/checkpoint gauges across a run's solved
+// cells (cache hits contribute nothing — their sessions never run).
+type PagingSummary struct {
+	// PagesSpilled and PagesFaulted total the pager eviction/fault traffic.
+	PagesSpilled int64 `json:"pagesSpilled"`
+	PagesFaulted int64 `json:"pagesFaulted"`
+	// HotBytes is the largest peak resident page-payload size any single
+	// cell reached.
+	HotBytes int64 `json:"hotBytes"`
+	// CheckpointsWritten totals checkpoint saves; CellsResumed counts cells
+	// whose sessions continued from a checkpoint instead of starting fresh.
+	CheckpointsWritten int64 `json:"checkpointsWritten"`
+	CellsResumed       int   `json:"cellsResumed"`
 }
 
 // Report is the structured outcome of one sweep run.
@@ -188,6 +210,10 @@ func (r *Report) Table() string {
 	}
 	fmt.Fprintf(&sb, "cache %d hits / %d misses (%.0f%% hit rate, %d memory + %d disk, %d distinct keys)  |  wall %.1fms with %d workers\n",
 		s.CacheHits, s.CacheMisses, hitRate, s.MemoryHits, s.DiskHits, s.DistinctKeys, r.WallMillis, r.Workers)
+	if p := s.Paging; p != (PagingSummary{}) {
+		fmt.Fprintf(&sb, "paging %d spilled / %d faulted (peak hot %d B)  |  %d checkpoints written, %d cells resumed\n",
+			p.PagesSpilled, p.PagesFaulted, p.HotBytes, p.CheckpointsWritten, p.CellsResumed)
+	}
 	return sb.String()
 }
 

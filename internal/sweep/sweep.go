@@ -19,12 +19,16 @@ package sweep
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"topocon/internal/check"
+	"topocon/internal/ckpt"
 	"topocon/internal/scenario"
 )
 
@@ -72,6 +76,20 @@ type Config struct {
 	// bounded pool can span many concurrent sweeps (the daemon's global
 	// session pool). Its capacity, not Workers, then bounds concurrency.
 	Slots chan struct{}
+	// CheckpointDir, when set, makes every solved cell checkpointable: the
+	// cell runs out-of-core under a pager (hot-set budget PagerHotBytes)
+	// rooted in its own content-addressed subdirectory
+	// (sha256 of the cache key), checkpoints every CheckpointEvery horizons
+	// (default 1), resumes from a valid checkpoint left by a killed run,
+	// and removes its directory once the verdict is in. Cache hits never
+	// touch checkpoints — their sessions never run.
+	CheckpointDir string
+	// CheckpointEvery is the per-cell checkpoint cadence in horizons
+	// (≤ 0: 1). Only meaningful with CheckpointDir.
+	CheckpointEvery int
+	// PagerHotBytes is each checkpointed cell's pager hot-set budget in
+	// bytes (≤ 0: unlimited). Only meaningful with CheckpointDir.
+	PagerHotBytes int64
 }
 
 // Run expands the template and analyses its grid under the config. On
@@ -115,9 +133,10 @@ func runGrid(ctx context.Context, cells []scenario.Cell, cfg Config, report *Rep
 		cache = NewCache()
 	}
 	start := time.Now()
-	runCells(ctx, cells, cfg, cache, report.Cells)
+	paging := runCells(ctx, cells, cfg, cache, report.Cells)
 	report.WallMillis = millis(time.Since(start))
 	report.Summary = summarize(report.Cells, cache)
+	report.Summary.Paging = paging
 }
 
 func workers(cfg Config) int {
@@ -132,6 +151,29 @@ type sweepState struct {
 	cfg        Config
 	cache      *Cache
 	progressMu sync.Mutex
+
+	// pagingMu guards the run's aggregated paging/checkpoint gauges.
+	pagingMu sync.Mutex
+	paging   PagingSummary
+}
+
+// recordCkptInfo folds one solved cell's checkpoint/paging traffic into the
+// run totals.
+func (st *sweepState) recordCkptInfo(info *ckpt.Info) {
+	if info == nil {
+		return
+	}
+	st.pagingMu.Lock()
+	st.paging.PagesSpilled += info.PagerStats.PagesSpilled
+	st.paging.PagesFaulted += info.PagerStats.PagesFaulted
+	if info.PagerStats.PeakHotBytes > st.paging.HotBytes {
+		st.paging.HotBytes = info.PagerStats.PeakHotBytes
+	}
+	st.paging.CheckpointsWritten += int64(info.Written)
+	if info.Resumed {
+		st.paging.CellsResumed++
+	}
+	st.pagingMu.Unlock()
 }
 
 // horizonProgress relays one solving cell's per-horizon report, serialized
@@ -146,8 +188,9 @@ func (st *sweepState) horizonProgress(cell string, rep check.HorizonReport) {
 }
 
 // runCells drives the worker pool over the grid, writing each cell's result
-// into its own slot of results (grid order).
-func runCells(ctx context.Context, cells []scenario.Cell, cfg Config, cache *Cache, results []CellResult) {
+// into its own slot of results (grid order), and returns the run's
+// aggregated paging/checkpoint gauges.
+func runCells(ctx context.Context, cells []scenario.Cell, cfg Config, cache *Cache, results []CellResult) PagingSummary {
 	st := &sweepState{cfg: cfg, cache: cache}
 	// Pre-mark every cell cancelled; workers overwrite the slots they run.
 	for i, cell := range cells {
@@ -198,6 +241,7 @@ feed:
 	}
 	close(work)
 	wg.Wait()
+	return st.paging
 }
 
 // runCell analyses one grid cell through the verdict cache.
@@ -230,12 +274,19 @@ func (st *sweepState) runCell(ctx context.Context, cell scenario.Cell) CellResul
 		cellCtx, cancel = context.WithTimeout(ctx, st.cfg.CellTimeout)
 		defer cancel()
 	}
+	var ck *ckpt.Info
 	out, tier, err := st.cache.Do(cellCtx, key, func() (Outcome, error) {
-		return st.solveCell(cellCtx, sc, key.Fingerprint)
+		o, info, serr := st.solveCell(cellCtx, sc, key)
+		ck = info
+		return o, serr
 	})
 	res.WallMillis = millis(time.Since(start))
 	res.CacheHit = tier != TierNone
 	res.CacheTier = tier.String()
+	if ck != nil {
+		res.Resumed = ck.Resumed
+		st.recordCkptInfo(ck)
+	}
 	switch {
 	case err == nil:
 		res.Verdict = out.Verdict.String()
@@ -265,30 +316,56 @@ func (st *sweepState) runCell(ctx context.Context, cell scenario.Cell) CellResul
 	return res
 }
 
-// solveCell is the cache-miss path: one full Analyzer session.
-func (st *sweepState) solveCell(ctx context.Context, sc *scenario.Scenario, fingerprint string) (Outcome, error) {
+// solveCell is the cache-miss path: one full Analyzer session — plain and
+// in-memory by default, out-of-core with checkpoint/resume when the config
+// names a CheckpointDir (then the returned ckpt.Info carries the cell's
+// paging and resume traffic).
+func (st *sweepState) solveCell(ctx context.Context, sc *scenario.Scenario, key Key) (Outcome, *ckpt.Info, error) {
 	parallelism := st.cfg.CellParallelism
 	if parallelism <= 0 {
 		parallelism = 1
 	}
 	runs := 0
+	onHorizon := func(r check.HorizonReport) {
+		runs = r.Runs
+		st.horizonProgress(sc.Name, r)
+	}
+	if st.cfg.OnAnalyzerBuilt != nil {
+		st.cfg.OnAnalyzerBuilt(key.Fingerprint)
+	}
+	if st.cfg.CheckpointDir != "" {
+		res, info, err := ckpt.RunCheck(ctx, sc.Adversary, ckpt.Config{
+			Dir:       filepath.Join(st.cfg.CheckpointDir, cellDirName(key)),
+			HotBytes:  st.cfg.PagerHotBytes,
+			Every:     st.cfg.CheckpointEvery,
+			OnHorizon: onHorizon,
+		}, sc.Options, parallelism)
+		if err != nil {
+			return Outcome{}, info, err
+		}
+		if runs == 0 {
+			// A session resumed at its deepest horizon analyses no further
+			// ones, so the progress hook never fires; the restored chain
+			// still knows its size.
+			runs = info.Runs
+		}
+		return outcomeOf(res, runs), info, nil
+	}
 	an, err := check.NewAnalyzer(sc.Adversary,
 		check.WithOptions(sc.Options),
 		check.WithParallelism(parallelism),
-		check.WithProgress(func(r check.HorizonReport) {
-			runs = r.Runs
-			st.horizonProgress(sc.Name, r)
-		}))
+		check.WithProgress(onHorizon))
 	if err != nil {
-		return Outcome{}, err
-	}
-	if st.cfg.OnAnalyzerBuilt != nil {
-		st.cfg.OnAnalyzerBuilt(fingerprint)
+		return Outcome{}, nil, err
 	}
 	res, err := an.Check(ctx)
 	if err != nil {
-		return Outcome{}, err
+		return Outcome{}, nil, err
 	}
+	return outcomeOf(res, runs), nil, nil
+}
+
+func outcomeOf(res *check.Result, runs int) Outcome {
 	return Outcome{
 		Verdict:           res.Verdict,
 		Exact:             res.Exact,
@@ -296,7 +373,15 @@ func (st *sweepState) solveCell(ctx context.Context, sc *scenario.Scenario, fing
 		Horizon:           res.Horizon,
 		Runs:              runs,
 		Notes:             res.Notes,
-	}, nil
+	}
+}
+
+// cellDirName is a cell's checkpoint subdirectory: the content address of
+// its cache key, so retries and resumed daemons land in the same place and
+// distinct cells never collide.
+func cellDirName(key Key) string {
+	sum := sha256.Sum256([]byte(key.String()))
+	return hex.EncodeToString(sum[:])
 }
 
 func millis(d time.Duration) float64 {

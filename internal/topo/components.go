@@ -77,6 +77,7 @@ func DecomposeCtx(ctx context.Context, s *Space) (*Decomposition, error) {
 	// bucket's first suffices. View IDs encode the owning process, so a
 	// single bucket table over all processes is sound.
 	n := s.N()
+	s.fr.fault()
 	ids := s.fr.ids
 	count := s.Len()
 	if s.parallelism <= 1 {

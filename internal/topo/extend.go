@@ -56,6 +56,7 @@ func (s *Space) extendOne(ctx context.Context) (*Space, error) {
 		return nil, err
 	}
 	adv := s.Adversary
+	s.fr.fault() // a resumed head is resident, but rehydrated ancestors may not be
 	nParents := s.Len()
 	// Lay out child slots with a prefix sum over per-parent branching, so
 	// workers write disjoint, deterministic ranges. The per-parent choice
@@ -98,6 +99,7 @@ func (s *Space) extendOne(ctx context.Context) (*Space, error) {
 		parentOffsets: offsets,
 		maxRuns:       s.maxRuns,
 		parallelism:   s.parallelism,
+		pager:         s.pager,
 	}
 	interner := s.Interner
 	err := forEachChunk(ctx, nParents, s.parallelism, func(lo, hi int) error {
@@ -146,6 +148,14 @@ func (s *Space) extendOne(ctx context.Context) (*Space, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if s.pager != nil {
+		// The receiver's round just stopped being the head: persist it and
+		// hand its columns to the pager, which evicts them once the hot set
+		// outgrows the budget. Chain walks fault them back transparently.
+		if err := s.fr.spill(s.pager); err != nil {
+			return nil, err
+		}
 	}
 	return next, nil
 }

@@ -1,0 +1,539 @@
+package topo
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"topocon/internal/graph"
+	"topocon/internal/ma"
+	"topocon/internal/pager"
+	"topocon/internal/ptg"
+)
+
+// This file holds the out-of-core side of the frontier chain: spilling cold
+// rounds' column arrays through internal/pager, faulting them back in on
+// chain walks, and snapshotting/restoring whole chains for checkpointed
+// Analyzer sessions (internal/ckpt). See DESIGN.md §9.
+//
+// The design exploits that frontiers are immutable once built: a round is
+// encoded and persisted the moment it stops being the head (extendOne), so
+// eviction is just dropping the in-memory columns — there is no write-back,
+// and a fault is a checksum-verified re-read. The horizon-0 base is never
+// spilled (it carries the input vectors every Inputs lookup needs), and the
+// head round is never registered for eviction (the hot loops read its
+// columns without faulting).
+
+// roundPageID names the page of the frontier at the given horizon; one
+// pager serves one chain, so the horizon is the identity.
+func roundPageID(horizon int) string { return fmt.Sprintf("round-%03d", horizon) }
+
+// spill persists the frontier's columns and registers them with the pager,
+// which may now evict them (dropping the in-memory copy) whenever the hot
+// set exceeds its budget. Idempotent; the base frontier is never spilled.
+func (f *frontier) spill(pg *pager.Pager) error {
+	if f.horizon == 0 || f.pg != nil {
+		return nil
+	}
+	id := roundPageID(f.horizon)
+	if err := pg.Put(id, f.encodeColumns(), f.evict); err != nil {
+		return err
+	}
+	f.pg = pg
+	f.pageID = id
+	return nil
+}
+
+// evict drops the in-memory columns; the next access faults them back in.
+// Invoked by the pager (outside its lock) when the page falls out of the
+// hot set.
+func (f *frontier) evict() {
+	f.ids, f.heard, f.gs, f.parentOf, f.rootOf = nil, nil, nil, nil, nil
+}
+
+// fault makes the frontier's columns resident, re-reading the page from
+// disk if it was evicted. The no-pager and resident fast paths are two
+// compares. Chain walks under a pager are driven from one goroutine (the
+// Analyzer session loop); fault is not safe for concurrent cold access.
+func (f *frontier) fault() {
+	if err := f.ensure(); err != nil {
+		// The chain-walking accessors (HeardByAllAt, ViewsOf, RunOf, …) have
+		// no error returns; a page that was validated at spill/restore time
+		// and is now unreadable is an environment failure, not a recoverable
+		// condition. The restore path uses ensure directly and errors cleanly.
+		panic(err)
+	}
+}
+
+// ensure is fault with an error return, for paths that can report it.
+func (f *frontier) ensure() error {
+	if f.pg == nil || f.ids != nil {
+		return nil
+	}
+	payload, err := f.pg.Fault(f.pageID, f.evict)
+	if err != nil {
+		return err
+	}
+	return f.decodeColumns(payload)
+}
+
+// encodeColumns serializes the round's columns: header (horizon, n, count),
+// ids, heard, a deduplicated round-graph dictionary plus per-item indices
+// (one round's graphs come from a small Choices menu, so the dictionary
+// keeps decoded rounds sharing graph backing arrays), parentOf and rootOf.
+// All integers are varint-coded; framing and checksums are the pager's job.
+func (f *frontier) encodeColumns() []byte {
+	n, count := f.n, f.count
+	buf := make([]byte, 0, 16+count*(2*n+3)*2)
+	buf = binary.AppendUvarint(buf, uint64(f.horizon))
+	buf = binary.AppendUvarint(buf, uint64(n))
+	buf = binary.AppendUvarint(buf, uint64(count))
+	for _, id := range f.ids {
+		buf = binary.AppendUvarint(buf, uint64(id))
+	}
+	for _, h := range f.heard {
+		buf = binary.AppendUvarint(buf, h)
+	}
+	dict := make([]graph.Graph, 0, 16)
+	dictIdx := make(map[string]int, 16)
+	gidx := make([]int, count)
+	for i, g := range f.gs {
+		key := g.Key()
+		di, ok := dictIdx[key]
+		if !ok {
+			di = len(dict)
+			dictIdx[key] = di
+			dict = append(dict, g)
+		}
+		gidx[i] = di
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(dict)))
+	for _, g := range dict {
+		for q := 0; q < n; q++ {
+			buf = binary.AppendUvarint(buf, g.In(q))
+		}
+	}
+	for _, di := range gidx {
+		buf = binary.AppendUvarint(buf, uint64(di))
+	}
+	for _, p := range f.parentOf {
+		buf = binary.AppendUvarint(buf, uint64(p))
+	}
+	for _, r := range f.rootOf {
+		buf = binary.AppendUvarint(buf, uint64(r))
+	}
+	return buf
+}
+
+// pageDecoder reads back-to-back uvarints with strict bounds.
+type pageDecoder struct {
+	data []byte
+	err  error
+}
+
+func (d *pageDecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, k := binary.Uvarint(d.data)
+	if k <= 0 {
+		d.err = errors.New("topo: truncated frontier page")
+		return 0
+	}
+	d.data = d.data[k:]
+	return v
+}
+
+// decodeColumns rebuilds the columns from an encodeColumns payload,
+// validating the header against the frontier's immutable identity (which
+// survives eviction) and every index against its column's range.
+func (f *frontier) decodeColumns(payload []byte) error {
+	d := &pageDecoder{data: payload}
+	h, n, count := int(d.uvarint()), int(d.uvarint()), int(d.uvarint())
+	if d.err == nil && (h != f.horizon || n != f.n || count != f.count) {
+		return fmt.Errorf("topo: frontier page header (h=%d n=%d count=%d) does not match round (h=%d n=%d count=%d)",
+			h, n, count, f.horizon, f.n, f.count)
+	}
+	ids := make([]ptg.ViewID, count*n)
+	for i := range ids {
+		ids[i] = ptg.ViewID(d.uvarint())
+	}
+	heard := make([]uint64, count*n)
+	for i := range heard {
+		heard[i] = d.uvarint()
+	}
+	dictLen := int(d.uvarint())
+	if d.err != nil {
+		return d.err
+	}
+	if dictLen < 0 || dictLen > count {
+		return fmt.Errorf("topo: frontier page graph dictionary of %d entries for %d items", dictLen, count)
+	}
+	dict := make([]graph.Graph, dictLen)
+	masks := make([]uint64, n)
+	for i := range dict {
+		for q := 0; q < n; q++ {
+			masks[q] = d.uvarint()
+		}
+		if d.err != nil {
+			return d.err
+		}
+		g, err := graph.FromInMasks(n, masks)
+		if err != nil {
+			return fmt.Errorf("topo: frontier page graph %d: %w", i, err)
+		}
+		dict[i] = g
+	}
+	gs := make([]graph.Graph, count)
+	for i := range gs {
+		di := d.uvarint()
+		if d.err == nil && di >= uint64(dictLen) {
+			return fmt.Errorf("topo: frontier page graph index %d out of %d", di, dictLen)
+		}
+		gs[i] = dict[di]
+	}
+	parentOf := make([]int32, count)
+	prevCount := 0
+	if f.prev != nil {
+		prevCount = f.prev.count
+	}
+	for i := range parentOf {
+		p := d.uvarint()
+		if d.err == nil && p >= uint64(prevCount) {
+			return fmt.Errorf("topo: frontier page parent index %d out of %d", p, prevCount)
+		}
+		parentOf[i] = int32(p)
+	}
+	rootOf := make([]int32, count)
+	baseCount := f.base.count
+	for i := range rootOf {
+		r := d.uvarint()
+		if d.err == nil && r >= uint64(baseCount) {
+			return fmt.Errorf("topo: frontier page root index %d out of %d", r, baseCount)
+		}
+		rootOf[i] = int32(r)
+	}
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.data) != 0 {
+		return fmt.Errorf("topo: frontier page has %d trailing bytes", len(d.data))
+	}
+	f.ids, f.heard, f.gs, f.parentOf, f.rootOf = ids, heard, gs, parentOf, rootOf
+	return nil
+}
+
+// Pager returns the pager attached at build time, or nil.
+func (s *Space) Pager() *pager.Pager { return s.pager }
+
+// ChainRound references one persisted round of a frontier chain.
+type ChainRound struct {
+	Horizon int    `json:"horizon"`
+	Count   int    `json:"count"`
+	PageID  string `json:"pageID"`
+	// Bytes is the encoded payload size, recorded so a resume can adopt the
+	// page by reference without reading it.
+	Bytes int64 `json:"bytes"`
+}
+
+// SnapshotChain persists every round of the space's frontier chain that is
+// not yet on disk (under the Analyzer flow that is only the head — every
+// older round was spilled when it stopped being the head) and returns the
+// page references for horizons 1..Horizon, ascending. The head stays
+// resident and unregistered; already-spilled rounds are referenced without
+// touching their residency.
+func (s *Space) SnapshotChain() ([]ChainRound, error) {
+	if s.pager == nil {
+		return nil, errors.New("topo: SnapshotChain requires a pager (Config.Pager)")
+	}
+	rounds := make([]ChainRound, s.Horizon)
+	for f := s.fr; f != nil && f.horizon > 0; f = f.prev {
+		cr := ChainRound{Horizon: f.horizon, Count: f.count}
+		if f.pg != nil {
+			cr.PageID = f.pageID
+			size, ok := s.pager.SizeOf(f.pageID)
+			if !ok {
+				return nil, fmt.Errorf("topo: SnapshotChain: round %d page %q not registered", f.horizon, f.pageID)
+			}
+			cr.Bytes = size
+		} else {
+			if err := f.ensure(); err != nil {
+				return nil, err
+			}
+			payload := f.encodeColumns()
+			cr.PageID = roundPageID(f.horizon)
+			cr.Bytes = int64(len(payload))
+			if err := s.pager.Persist(cr.PageID, payload); err != nil {
+				return nil, err
+			}
+		}
+		rounds[f.horizon-1] = cr
+	}
+	return rounds, nil
+}
+
+// ChainSpec describes a persisted frontier chain to restore.
+type ChainSpec struct {
+	Adversary   ma.Adversary
+	InputDomain int
+	MaxRuns     int // ≤ 0 selects DefaultMaxRuns
+	Parallelism int
+	// Interner must be the imported interner of the checkpointed session:
+	// restore re-derives nothing, so the page's ViewIDs are only meaningful
+	// against the arena they were interned into.
+	Interner *ptg.Interner
+	// Pager owns the page directory the rounds reference.
+	Pager *pager.Pager
+	// Rounds are the persisted rounds, horizons 1..H ascending (from
+	// SnapshotChain).
+	Rounds []ChainRound
+}
+
+// RestoreChain rebuilds the frontier chain of a checkpointed session and
+// returns the space at the deepest horizon, ready to Extend further.
+//
+// The automaton states are not serialized (ma.State is opaque by design);
+// they are recomputed by deterministic replay: round by round, every page
+// is read and checksum-verified exactly once, the adversary is stepped
+// along the recorded round graphs, and the round is then registered with
+// the pager and evicted again — so restore memory stays at ~two rounds
+// plus one state column regardless of depth, and a corrupt page surfaces
+// here as a clean error, never as a wrong resume.
+func RestoreChain(spec ChainSpec) (*Space, error) {
+	if spec.Adversary == nil || spec.Interner == nil || spec.Pager == nil {
+		return nil, errors.New("topo: RestoreChain: adversary, interner and pager are required")
+	}
+	maxRuns := spec.MaxRuns
+	if maxRuns <= 0 {
+		maxRuns = DefaultMaxRuns
+	}
+	adv := spec.Adversary
+	n := adv.N()
+	s := buildBase(adv, spec.InputDomain, spec.Interner, maxRuns, spec.Parallelism)
+	s.pager = spec.Pager
+	internedViews := ptg.ViewID(spec.Interner.Size())
+	for ri, cr := range spec.Rounds {
+		if cr.Horizon != ri+1 {
+			return nil, fmt.Errorf("topo: RestoreChain: round %d has horizon %d, want %d", ri, cr.Horizon, ri+1)
+		}
+		if cr.Count <= 0 || cr.Count > maxRuns {
+			return nil, fmt.Errorf("topo: RestoreChain: round %d count %d out of range", cr.Horizon, cr.Count)
+		}
+		payload, err := spec.Pager.ReadPage(cr.PageID)
+		if err != nil {
+			return nil, err
+		}
+		f := &frontier{
+			horizon: cr.Horizon,
+			n:       n,
+			count:   cr.Count,
+			prev:    s.fr,
+			base:    s.fr.base,
+		}
+		if err := f.decodeColumns(payload); err != nil {
+			return nil, fmt.Errorf("topo: RestoreChain: round %d: %w", cr.Horizon, err)
+		}
+		for _, id := range f.ids {
+			if id < 0 || id >= internedViews {
+				return nil, fmt.Errorf("topo: RestoreChain: round %d references view %d beyond interner size %d",
+					cr.Horizon, id, internedViews)
+			}
+		}
+		states := make([]ma.State, cr.Count)
+		doneAt := make([]int32, cr.Count)
+		valence := make([]int32, cr.Count)
+		for c := 0; c < cr.Count; c++ {
+			pi := f.parentOf[c]
+			state := adv.Step(s.states[pi], f.gs[c])
+			da := s.doneAt[pi]
+			if da < 0 && adv.Done(state) {
+				da = int32(cr.Horizon)
+			}
+			states[c] = state
+			doneAt[c] = da
+			valence[c] = s.valence[pi]
+		}
+		next := &Space{
+			Adversary:   adv,
+			InputDomain: spec.InputDomain,
+			Horizon:     cr.Horizon,
+			Interner:    spec.Interner,
+			fr:          f,
+			states:      states,
+			doneAt:      doneAt,
+			valence:     valence,
+			maxRuns:     maxRuns,
+			parallelism: spec.Parallelism,
+			pager:       spec.Pager,
+		}
+		if cr.Horizon < len(spec.Rounds) {
+			// Interior round: register it cold (the page was just validated)
+			// and drop the columns; walks fault them back on demand. The
+			// deepest round stays resident as the new head.
+			if err := spec.Pager.Adopt(cr.PageID, cr.Bytes, f.evict); err != nil {
+				return nil, err
+			}
+			f.pg = spec.Pager
+			f.pageID = cr.PageID
+			f.evict()
+		}
+		s = next
+	}
+	return s, nil
+}
+
+// AncestorAt materializes the space at an earlier horizon t of the chain,
+// faulting spilled rounds as needed and replaying the automaton states from
+// the base (states are per-space, not per-frontier, so an evicted horizon
+// has none). It is the rehydration path behind check.Analyzer.SpaceAt for
+// evicted horizons; a cold reporting/debugging operation, O(chain) page
+// reads and steps.
+func (s *Space) AncestorAt(t int) (*Space, error) {
+	if t == s.Horizon {
+		return s, nil
+	}
+	if t < 0 || t > s.Horizon {
+		return nil, fmt.Errorf("topo: AncestorAt(%d) outside chain of horizon %d", t, s.Horizon)
+	}
+	target := s.fr
+	for target.horizon > t {
+		target = target.prev
+	}
+	// Collect the path base..target, then replay forward.
+	path := make([]*frontier, 0, t+1)
+	for f := target; f != nil; f = f.prev {
+		path = append(path, f)
+	}
+	base := path[len(path)-1]
+	states := make([]ma.State, base.count)
+	doneAt := make([]int32, base.count)
+	valence := make([]int32, base.count)
+	start := s.Adversary.Start()
+	da0 := int32(-1)
+	if s.Adversary.Done(start) {
+		da0 = 0
+	}
+	for i, w := range base.inputs {
+		states[i] = start
+		doneAt[i] = da0
+		valence[i] = valenceOf(w)
+	}
+	for ri := len(path) - 2; ri >= 0; ri-- {
+		f := path[ri]
+		if err := f.ensure(); err != nil {
+			return nil, err
+		}
+		nextStates := make([]ma.State, f.count)
+		nextDoneAt := make([]int32, f.count)
+		nextValence := make([]int32, f.count)
+		for c := 0; c < f.count; c++ {
+			pi := f.parentOf[c]
+			state := s.Adversary.Step(states[pi], f.gs[c])
+			da := doneAt[pi]
+			if da < 0 && s.Adversary.Done(state) {
+				da = int32(f.horizon)
+			}
+			nextStates[c] = state
+			nextDoneAt[c] = da
+			nextValence[c] = valence[pi]
+		}
+		states, doneAt, valence = nextStates, nextDoneAt, nextValence
+	}
+	return &Space{
+		Adversary:   s.Adversary,
+		InputDomain: s.InputDomain,
+		Horizon:     t,
+		Interner:    s.Interner,
+		fr:          target,
+		states:      states,
+		doneAt:      doneAt,
+		valence:     valence,
+		maxRuns:     s.maxRuns,
+		parallelism: s.parallelism,
+		pager:       s.pager,
+	}, nil
+}
+
+// CompSnapshot is the serializable summary of one Component; Members are
+// not stored — they are rebuilt from CompOf (whose ascending sweep restores
+// the ordered-by-smallest-member layout).
+type CompSnapshot struct {
+	Valences      []int  `json:"valences,omitempty"`
+	Broadcasters  uint64 `json:"broadcasters,string"`
+	UniformInputs uint64 `json:"uniformInputs,string"`
+}
+
+// DecompSnapshot is the serializable form of a Decomposition, relative to a
+// space restored separately.
+type DecompSnapshot struct {
+	Horizon int            `json:"horizon"`
+	CompOf  []int          `json:"compOf"`
+	Comps   []CompSnapshot `json:"comps"`
+}
+
+// SnapshotDecomposition captures a decomposition for a checkpoint.
+func SnapshotDecomposition(d *Decomposition) *DecompSnapshot {
+	snap := &DecompSnapshot{
+		Horizon: d.Space.Horizon,
+		CompOf:  append([]int(nil), d.CompOf...),
+		Comps:   make([]CompSnapshot, len(d.Comps)),
+	}
+	for ci := range d.Comps {
+		c := &d.Comps[ci]
+		snap.Comps[ci] = CompSnapshot{
+			Valences:      append([]int(nil), c.Valences...),
+			Broadcasters:  c.Broadcasters,
+			UniformInputs: c.UniformInputs,
+		}
+	}
+	return snap
+}
+
+// RestoreDecomposition rebuilds a Decomposition over a restored space,
+// validating the snapshot's shape strictly: the partition must label every
+// item, reference every component, and keep components ordered by smallest
+// member (the invariant Refine's seeding relies on).
+func RestoreDecomposition(s *Space, snap *DecompSnapshot) (*Decomposition, error) {
+	if snap.Horizon != s.Horizon {
+		return nil, fmt.Errorf("topo: RestoreDecomposition: snapshot at horizon %d, space at %d", snap.Horizon, s.Horizon)
+	}
+	if len(snap.CompOf) != s.Len() {
+		return nil, fmt.Errorf("topo: RestoreDecomposition: %d labels for %d items", len(snap.CompOf), s.Len())
+	}
+	d := &Decomposition{
+		Space:  s,
+		CompOf: append([]int(nil), snap.CompOf...),
+		Comps:  make([]Component, len(snap.Comps)),
+	}
+	sizes := make([]int, len(snap.Comps))
+	nextNew := 0
+	for i, ci := range d.CompOf {
+		if ci < 0 || ci >= len(snap.Comps) {
+			return nil, fmt.Errorf("topo: RestoreDecomposition: item %d labeled %d of %d components", i, ci, len(snap.Comps))
+		}
+		if ci > nextNew {
+			return nil, fmt.Errorf("topo: RestoreDecomposition: components not ordered by smallest member (item %d labeled %d before %d appeared)", i, ci, nextNew)
+		}
+		if ci == nextNew {
+			nextNew++
+		}
+		sizes[ci]++
+	}
+	if nextNew != len(snap.Comps) {
+		return nil, fmt.Errorf("topo: RestoreDecomposition: %d of %d components have no members", len(snap.Comps)-nextNew, len(snap.Comps))
+	}
+	arena := make([]int, s.Len())
+	for ci := range d.Comps {
+		d.Comps[ci] = Component{
+			Members:       arena[:0:sizes[ci]],
+			Valences:      append([]int(nil), snap.Comps[ci].Valences...),
+			Broadcasters:  snap.Comps[ci].Broadcasters,
+			UniformInputs: snap.Comps[ci].UniformInputs,
+		}
+		arena = arena[sizes[ci]:]
+	}
+	for i, ci := range d.CompOf {
+		d.Comps[ci].Members = append(d.Comps[ci].Members, i)
+	}
+	return d, nil
+}

@@ -106,6 +106,7 @@ func (d *Decomposition) Refine(ctx context.Context, child *Space) (*Decompositio
 	nItems := child.Len()
 	u := uf.New(nItems)
 	n := child.N()
+	child.fr.fault()
 	ids := child.fr.ids
 	offsets := child.parentOffsets
 	// All child views were interned during the extension, so their IDs are

@@ -34,6 +34,7 @@ import (
 	"topocon/internal/combi"
 	"topocon/internal/graph"
 	"topocon/internal/ma"
+	"topocon/internal/pager"
 	"topocon/internal/ptg"
 )
 
@@ -65,6 +66,13 @@ type frontier struct {
 	// base is the horizon-0 frontier of the chain (itself at horizon 0),
 	// cached so input lookups need no chain walk.
 	base *frontier
+
+	// Out-of-core state (see paging.go): once spilled, pg/pageID locate the
+	// persisted copy of the columns, and ids == nil marks them evicted. The
+	// identity fields above (horizon, n, count, prev, base) always stay
+	// resident. nil pg means the round is not paged.
+	pg     *pager.Pager
+	pageID string
 }
 
 // idRow returns the ViewID row of item i (aliases the column; read-only).
@@ -121,6 +129,10 @@ type Space struct {
 
 	maxRuns     int // size cap inherited by Extend
 	parallelism int // worker count inherited by Extend / DecomposeCtx
+
+	// pager, when non-nil, spills rounds that stop being the head to disk
+	// and bounds the resident set; see paging.go.
+	pager *pager.Pager
 }
 
 // DefaultMaxRuns bounds the size of constructed spaces; Build returns an
@@ -138,6 +150,12 @@ type Config struct {
 	// Interner shares hash-consed views with other spaces or a compiled
 	// decision map; nil allocates a fresh one.
 	Interner *ptg.Interner
+	// Pager, when non-nil, makes the frontier chain out-of-core: every
+	// round that stops being the head is persisted to the pager's page
+	// directory and its columns become evictable under the pager's hot-set
+	// budget; chain-walking accessors fault pages back in transparently.
+	// Required for SnapshotChain / checkpointing.
+	Pager *pager.Pager
 }
 
 // Build enumerates the horizon-t prefix space of the adversary with the
@@ -192,6 +210,7 @@ func BuildCtx(ctx context.Context, adv ma.Adversary, inputDomain, horizon int, c
 		interner = ptg.NewInterner()
 	}
 	s := buildBase(adv, inputDomain, interner, maxRuns, cfg.Parallelism)
+	s.pager = cfg.Pager
 	for s.Horizon < horizon {
 		next, err := s.extendOne(ctx)
 		if err != nil {
@@ -285,15 +304,23 @@ func (s *Space) Len() int { return s.fr.count }
 func (s *Space) N() int { return s.Adversary.N() }
 
 // ViewAt returns the ViewID of process p in item i at the space's horizon —
-// a direct column read.
-func (s *Space) ViewAt(i, p int) ptg.ViewID { return s.fr.ids[i*s.fr.n+p] }
+// a direct column read (plus a two-compare residency check; a space
+// rehydrated from spilled pages may have had its round evicted again).
+func (s *Space) ViewAt(i, p int) ptg.ViewID {
+	s.fr.fault()
+	return s.fr.ids[i*s.fr.n+p]
+}
 
 // HeardAt returns the heard-bitmask of process p in item i at the horizon.
-func (s *Space) HeardAt(i, p int) uint64 { return s.fr.heard[i*s.fr.n+p] }
+func (s *Space) HeardAt(i, p int) uint64 {
+	s.fr.fault()
+	return s.fr.heard[i*s.fr.n+p]
+}
 
 // HeardByAll returns the bitmask of processes heard by every process in
 // item i at the space's horizon — a fold over one column row.
 func (s *Space) HeardByAll(i int) uint64 {
+	s.fr.fault()
 	acc := graph.AllNodes(s.fr.n)
 	for _, h := range s.fr.heardRow(i) {
 		acc &= h
@@ -308,9 +335,11 @@ func (s *Space) HeardByAll(i int) uint64 {
 func (s *Space) HeardByAllAt(i, t int) uint64 {
 	f, idx := s.fr, i
 	for f.horizon > t {
+		f.fault()
 		idx = int(f.parentOf[idx])
 		f = f.prev
 	}
+	f.fault()
 	acc := graph.AllNodes(f.n)
 	for _, h := range f.heardRow(idx) {
 		acc &= h
@@ -335,6 +364,7 @@ func (s *Space) Valence(i int) int { return int(s.valence[i]) }
 // root-ancestor column and the chain's cached horizon-0 frontier. The
 // returned slice is shared; callers must not mutate it.
 func (s *Space) Inputs(i int) []int {
+	s.fr.fault()
 	return s.fr.base.inputs[s.fr.rootOf[i]]
 }
 
@@ -348,6 +378,7 @@ func (s *Space) ViewsOf(i int) *ptg.Views {
 	heard := make([][]uint64, s.Horizon+1)
 	f, idx := s.fr, i
 	for {
+		f.fault()
 		ids[f.horizon] = f.idRow(idx)
 		heard[f.horizon] = f.heardRow(idx)
 		if f.prev == nil {
@@ -365,6 +396,7 @@ func (s *Space) RunOf(i int) ptg.Run {
 	graphs := make([]graph.Graph, s.Horizon)
 	f, idx := s.fr, i
 	for f.prev != nil {
+		f.fault()
 		graphs[f.horizon-1] = f.gs[idx]
 		idx = int(f.parentOf[idx])
 		f = f.prev

@@ -50,9 +50,11 @@ package topocon
 import (
 	"topocon/internal/baseline"
 	"topocon/internal/check"
+	"topocon/internal/ckpt"
 	"topocon/internal/graph"
 	"topocon/internal/lasso"
 	"topocon/internal/ma"
+	"topocon/internal/pager"
 	"topocon/internal/ptg"
 	"topocon/internal/scenario"
 	"topocon/internal/sim"
@@ -234,6 +236,9 @@ type (
 	// SweepCacheStats counts a cache's hits by tier, computes and tier
 	// write failures.
 	SweepCacheStats = sweep.CacheStats
+	// SweepPagingSummary aggregates a sweep's out-of-core paging and
+	// checkpoint gauges (all-zero without a CheckpointDir).
+	SweepPagingSummary = sweep.PagingSummary
 	// VerdictStore is the disk-backed content-addressed verdict store:
 	// one checksummed record per SweepKey, written atomically, quarantined
 	// when corrupt. It implements SweepTier.
@@ -413,6 +418,56 @@ var (
 
 // ErrHorizonExhausted is returned by Analyzer.Step past MaxHorizon.
 var ErrHorizonExhausted = check.ErrHorizonExhausted
+
+// Out-of-core paging and session checkpoint/resume.
+type (
+	// Pager is the frontier paging layer: it spills cold frontier rounds'
+	// column arrays to checksummed page files under a hot-set byte budget
+	// and faults them back in transparently. Attach one to an Analyzer
+	// with WithPager.
+	Pager = pager.Pager
+	// PagerConfig configures NewPager (directory, hot-set budget).
+	PagerConfig = pager.Config
+	// PagerStats are a pager's cumulative spill/fault/residency gauges.
+	PagerStats = pager.Stats
+	// SessionSnapshot is an Analyzer session's serializable state; see
+	// Analyzer.Snapshot and RestoreAnalyzer.
+	SessionSnapshot = check.SessionSnapshot
+	// CheckpointConfig tunes RunCheckpointed (directory, hot-set budget,
+	// checkpoint cadence).
+	CheckpointConfig = ckpt.Config
+	// CheckpointInfo reports what RunCheckpointed did (resume point,
+	// checkpoints written, pager traffic).
+	CheckpointInfo = ckpt.Info
+)
+
+var (
+	// NewPager opens (or creates) a page directory.
+	NewPager = pager.New
+	// WithPager attaches a paging layer to an Analyzer session.
+	WithPager = check.WithPager
+	// RestoreAnalyzer rebuilds an Analyzer from a SessionSnapshot.
+	RestoreAnalyzer = check.RestoreAnalyzer
+	// SaveCheckpoint / LoadCheckpoint / RemoveCheckpoint manage a whole
+	// session checkpoint directory; CheckpointExists probes one.
+	SaveCheckpoint   = ckpt.Save
+	LoadCheckpoint   = ckpt.Load
+	RemoveCheckpoint = ckpt.Remove
+	CheckpointExists = ckpt.Exists
+	// RunCheckpointed runs a full analysis resume-or-fresh: it continues
+	// from a checkpoint when one matches, checkpoints periodically as it
+	// refines, saves on interruption, and cleans up on success.
+	RunCheckpointed = ckpt.RunCheck
+)
+
+// Checkpoint error taxonomy: a missing or corrupt (quarantined) checkpoint
+// is ErrNoCheckpoint — recompute fresh; an intact checkpoint for the wrong
+// adversary or options is a hard mismatch error — never silently recompute.
+var (
+	ErrNoCheckpoint                  = ckpt.ErrNoCheckpoint
+	ErrCheckpointFingerprintMismatch = ckpt.ErrFingerprintMismatch
+	ErrCheckpointConfigMismatch      = ckpt.ErrConfigMismatch
+)
 
 // Verdicts.
 const (

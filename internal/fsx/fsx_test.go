@@ -1,0 +1,73 @@
+package fsx
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAtomicWriteRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rec.dat")
+	if err := AtomicWrite(path, []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("read back %q", got)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode().Perm() != 0o644 {
+		t.Fatalf("perm = %v, want 0644", st.Mode().Perm())
+	}
+	// Overwrite replaces atomically.
+	if err := AtomicWrite(path, []byte("world"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "world" {
+		t.Fatalf("after overwrite: %q", got)
+	}
+	// No temp droppings on the success path.
+	assertNoTmp(t, dir)
+}
+
+func TestAtomicWriteFailureLeavesNoTmp(t *testing.T) {
+	dir := t.TempDir()
+	// Renaming over a directory fails on every platform, forcing the
+	// cleanup path after the data was already written and synced.
+	target := filepath.Join(dir, "taken")
+	if err := os.Mkdir(target, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := AtomicWrite(target, []byte("x"), 0o644); err == nil {
+		t.Fatal("expected rename failure writing over a directory")
+	}
+	assertNoTmp(t, dir)
+}
+
+func TestAtomicWriteMissingDir(t *testing.T) {
+	if err := AtomicWrite(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), nil, 0o644); err == nil {
+		t.Fatal("expected error for missing parent directory")
+	}
+}
+
+func assertNoTmp(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), TmpExt) {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// allocFreeTag marks a function whose loop bodies must not allocate.
+const allocFreeTag = "//topocon:allocfree"
+
+// AllocFree checks functions annotated //topocon:allocfree — the frontier
+// extension and interner hot paths, where a single allocation per
+// quiescent run multiplies by millions. Only loop bodies are constrained
+// (setup allocations before the loop are exactly the pre-sizing the
+// annotation protects); inside a loop it flags heap-allocating constructs:
+// make/new, slice and map literals, &composite, non-self-assign append,
+// string<->[]byte/[]rune conversions, fmt/log/errors calls, func
+// literals, and defer. Value struct/array literals and self-assign append
+// (buf = append(buf, x) into pre-sized scratch) are allowed.
+var AllocFree = &Analyzer{
+	Name: "allocfree",
+	Doc:  "flag heap-allocating constructs in loop bodies of //topocon:allocfree functions",
+	Run:  runAllocFree,
+}
+
+func runAllocFree(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasAllocFreeTag(fd) {
+				continue
+			}
+			checkAllocFree(pass, fd)
+		}
+	}
+}
+
+func hasAllocFreeTag(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == allocFreeTag {
+			return true
+		}
+	}
+	return false
+}
+
+// span is a source interval; loop bodies become spans and a construct is
+// "hot" when its position falls inside any of them (nested loops and func
+// literals inside loops are covered for free).
+type span struct{ from, to token.Pos }
+
+func checkAllocFree(pass *Pass, fd *ast.FuncDecl) {
+	var loops []span
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch l := n.(type) {
+		case *ast.ForStmt:
+			loops = append(loops, span{l.Body.Pos(), l.Body.End()})
+		case *ast.RangeStmt:
+			loops = append(loops, span{l.Body.Pos(), l.Body.End()})
+		}
+		return true
+	})
+	if len(loops) == 0 {
+		return
+	}
+	inLoop := func(pos token.Pos) bool {
+		for _, s := range loops {
+			if s.from <= pos && pos < s.to {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Self-assign appends (buf = append(buf, x)) reuse pre-sized capacity;
+	// collect them first so the generic call check can skip them.
+	selfAppend := map[*ast.CallExpr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !isBuiltin(pass.Info, call, "append") || len(call.Args) == 0 {
+			return true
+		}
+		if types.ExprString(as.Lhs[0]) == types.ExprString(call.Args[0]) {
+			selfAppend[call] = true
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil || !inLoop(n.Pos()) {
+			return true
+		}
+		switch x := n.(type) {
+		case *ast.DeferStmt:
+			pass.Reportf(x.Pos(), "defer in a hot loop allocates a deferred frame per iteration")
+		case *ast.FuncLit:
+			pass.Reportf(x.Pos(), "func literal in a hot loop allocates a closure per iteration")
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, isLit := x.X.(*ast.CompositeLit); isLit {
+					pass.Reportf(x.Pos(), "&composite literal in a hot loop escapes to the heap")
+				}
+			}
+		case *ast.CompositeLit:
+			switch pass.Info.TypeOf(x).Underlying().(type) {
+			case *types.Slice:
+				pass.Reportf(x.Pos(), "slice literal in a hot loop allocates")
+			case *types.Map:
+				pass.Reportf(x.Pos(), "map literal in a hot loop allocates")
+			}
+		case *ast.CallExpr:
+			reportAllocCall(pass, x, selfAppend)
+		}
+		return true
+	})
+}
+
+func reportAllocCall(pass *Pass, call *ast.CallExpr, selfAppend map[*ast.CallExpr]bool) {
+	switch {
+	case isBuiltin(pass.Info, call, "make"):
+		pass.Reportf(call.Pos(), "make in a hot loop allocates; pre-size outside the loop")
+	case isBuiltin(pass.Info, call, "new"):
+		pass.Reportf(call.Pos(), "new in a hot loop allocates; pre-size outside the loop")
+	case isBuiltin(pass.Info, call, "append"):
+		if !selfAppend[call] {
+			pass.Reportf(call.Pos(), "append that is not a self-assignment (x = append(x, ...)) may allocate per iteration")
+		}
+	case isAllocConversion(pass.Info, call):
+		pass.Reportf(call.Pos(), "string<->[]byte/[]rune conversion in a hot loop copies and allocates")
+	default:
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if obj := pass.Info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil {
+				switch obj.Pkg().Path() {
+				case "fmt", "log", "errors":
+					pass.Reportf(call.Pos(), "%s.%s in a hot loop allocates (boxing its arguments)", obj.Pkg().Name(), obj.Name())
+				}
+			}
+		}
+	}
+}
+
+// isBuiltin reports whether call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isB := info.Uses[id].(*types.Builtin)
+	return isB
+}
+
+// isAllocConversion reports conversions that copy memory: to string from a
+// byte/rune slice or rune, and to []byte/[]rune from a string.
+func isAllocConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return false
+	}
+	dst := tv.Type.Underlying()
+	src := info.TypeOf(call.Args[0])
+	if src == nil {
+		return false
+	}
+	srcU := src.Underlying()
+	if b, ok := dst.(*types.Basic); ok && b.Info()&types.IsString != 0 {
+		if _, fromSlice := srcU.(*types.Slice); fromSlice {
+			return true
+		}
+		if sb, ok := srcU.(*types.Basic); ok && sb.Info()&types.IsInteger != 0 {
+			return true // string(rune) / string(byte-ish)
+		}
+		return false
+	}
+	if sl, ok := dst.(*types.Slice); ok {
+		if eb, ok := sl.Elem().Underlying().(*types.Basic); ok {
+			k := eb.Kind()
+			if k == types.Byte || k == types.Uint8 || k == types.Rune || k == types.Int32 {
+				if sb, ok := srcU.(*types.Basic); ok && sb.Info()&types.IsString != 0 {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

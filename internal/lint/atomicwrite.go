@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// durablePkgs names the packages whose on-disk artifacts must only ever be
+// written through fsx.AtomicWrite (temp sibling + sync + rename). Matching
+// is by final import-path segment so fixtures exercise the same code path
+// as the real tree.
+var durablePkgs = map[string]bool{
+	"store": true,
+	"pager": true,
+	"ckpt":  true,
+	"svc":   true,
+}
+
+// AtomicWrite flags direct file-creation calls in the durable packages.
+// Anything written there is a record a restarted process will trust, so a
+// non-atomic write is a torn-record bug waiting for a crash. The sanctioned
+// implementation lives in internal/fsx, which is exempt by name.
+var AtomicWrite = &Analyzer{
+	Name: "atomicwrite",
+	Doc:  "flag direct os.WriteFile/os.Create in durable packages; write through fsx.AtomicWrite",
+	Run:  runAtomicWrite,
+}
+
+func runAtomicWrite(pass *Pass) {
+	if !durablePkgs[pathBase(pass.Path)] || pass.Pkg.Name() == "main" {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case isPkgFunc(pass.Info, call, "os", "WriteFile"), isPkgFunc(pass.Info, call, "io/ioutil", "WriteFile"):
+				pass.Reportf(call.Pos(), "direct os.WriteFile bypasses the temp+sync+rename idiom; use fsx.AtomicWrite")
+			case isPkgFunc(pass.Info, call, "os", "Create"):
+				pass.Reportf(call.Pos(), "direct os.Create on a final path bypasses the temp+sync+rename idiom; use fsx.AtomicWrite")
+			}
+			return true
+		})
+	}
+}
+
+// isPkgFunc reports whether call invokes <pkgPath>.<name> (a package-level
+// function, resolved through the type info so aliases and renamed imports
+// are seen through).
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	if _, isFunc := obj.(*types.Func); !isFunc {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath && obj.Name() == name
+}

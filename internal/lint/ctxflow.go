@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ctxPkgs names the packages whose exported entry points drive long
+// (frontier/cell/job) loops and therefore must thread cancellation.
+var ctxPkgs = map[string]bool{
+	"topo":  true,
+	"check": true,
+	"sweep": true,
+	"svc":   true,
+	"ckpt":  true,
+}
+
+// CtxFlow enforces the context-threading invariant with two checks:
+//
+//  1. context.Background()/context.TODO() in library (non-main) code
+//     severs the caller's cancellation chain — a cell that should die with
+//     its job keeps burning a session slot. Legal only at genuine roots
+//     (daemon construction, documented compatibility shims), under an
+//     allow directive.
+//
+//  2. In the loop-driving packages, an exported function that contains a
+//     loop and calls context-aware callees without itself accepting a
+//     context.Context is an uncancellable driver. Passing a stored root
+//     context (a field selector like s.rootCtx) is the sanctioned daemon
+//     pattern and is not flagged.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "flag severed context chains: Background/TODO in library code, exported loop drivers without a context parameter",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	if pass.Pkg.Name() == "main" {
+		return
+	}
+	for _, f := range pass.Files {
+		// Check 1: manufactured contexts anywhere in library code.
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isPkgFunc(pass.Info, call, "context", "Background") {
+				pass.Reportf(call.Pos(), "context.Background() in library code severs the caller's cancellation chain; accept a context.Context instead")
+			} else if isPkgFunc(pass.Info, call, "context", "TODO") {
+				pass.Reportf(call.Pos(), "context.TODO() in library code severs the caller's cancellation chain; accept a context.Context instead")
+			}
+			return true
+		})
+		if !ctxPkgs[pathBase(pass.Path)] {
+			continue
+		}
+		// Check 2: exported loop drivers without a context parameter.
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if funcAcceptsCtx(pass.Info, fd) {
+				continue
+			}
+			if !containsLoop(fd.Body) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if !calleeTakesCtx(pass.Info, call) || len(call.Args) == 0 {
+					return true
+				}
+				// A stored root context (s.rootCtx) is the daemon pattern.
+				if _, isSel := call.Args[0].(*ast.SelectorExpr); isSel {
+					return true
+				}
+				pass.Reportf(fd.Name.Pos(), "exported %s drives a loop through context-aware callees but does not accept a context.Context", fd.Name.Name)
+				return false // one report per function is enough
+			})
+		}
+	}
+}
+
+// funcAcceptsCtx reports whether any parameter of fd is a context.Context.
+func funcAcceptsCtx(info *types.Info, fd *ast.FuncDecl) bool {
+	obj, ok := info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	params := obj.Type().(*types.Signature).Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeTakesCtx reports whether call's callee takes a context.Context as
+// its first parameter.
+func calleeTakesCtx(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return false
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok || sig.Params().Len() == 0 {
+		return false
+	}
+	return isContextType(sig.Params().At(0).Type())
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// containsLoop reports whether the block contains any for/range statement.
+func containsLoop(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,57 @@
+// Fixture for the allocfree analyzer: only loop bodies of annotated
+// functions are constrained; setup allocations and value literals pass.
+package hot
+
+import "fmt"
+
+type point struct{ x, y int }
+
+func sink(args ...interface{}) {}
+
+// Extend is an annotated hot path with one of each violation.
+//
+//topocon:allocfree
+func Extend(dst []int, items []int) []int {
+	scratch := make([]int, 0, len(items)) // setup alloc outside the loop: allowed
+	for _, it := range items {
+		scratch = append(scratch, it) // self-assign append: allowed
+		buf := make([]int, it)        // want `make in a hot loop`
+		sink(buf)
+		dst = append(scratch, it) // want `append that is not a self-assignment`
+		m := map[int]int{it: it}  // want `map literal in a hot loop`
+		sink(m)
+		s := []int{it} // want `slice literal in a hot loop`
+		sink(s)
+		p := &point{it, it} // want `&composite literal in a hot loop`
+		sink(p)
+		q := new(point) // want `new in a hot loop`
+		sink(q)
+		v := point{it, it} // value struct literal: allowed
+		sink(v)
+		arr := [2]int{it, it} // value array literal: allowed
+		sink(arr)
+		msg := fmt.Sprintf("%d", it)  // want `fmt.Sprintf in a hot loop allocates`
+		b := []byte(msg)              // want `conversion in a hot loop`
+		sink(string(b))               // want `conversion in a hot loop`
+		f := func() int { return it } // want `func literal in a hot loop`
+		sink(f())
+		defer sink(it) // want `defer in a hot loop`
+	}
+	return dst
+}
+
+// NotAnnotated allocates freely: the analyzer only binds tagged functions.
+func NotAnnotated(items []int) []int {
+	var out []int
+	for _, it := range items {
+		out = append(out, make([]int, it)...)
+	}
+	return out
+}
+
+// NoLoops is annotated but loop-free; nothing to constrain.
+//
+//topocon:allocfree
+func NoLoops(n int) []int {
+	return make([]int, n)
+}

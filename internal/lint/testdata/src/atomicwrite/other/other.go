@@ -1,0 +1,12 @@
+// Fixture: "other" is not a durable package, so raw writes are allowed.
+package other
+
+import "os"
+
+func persist(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+func openFinal(path string) (*os.File, error) {
+	return os.Create(path)
+}

@@ -1,0 +1,18 @@
+// Fixture: the final path-segment "store" marks this a durable package,
+// so raw file creation must go through fsx.AtomicWrite.
+package store
+
+import "os"
+
+func persist(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `direct os.WriteFile bypasses the temp\+sync\+rename idiom`
+}
+
+func openFinal(path string) (*os.File, error) {
+	return os.Create(path) // want `direct os.Create on a final path`
+}
+
+func sanctioned(path string, data []byte) error {
+	//topocon:allow atomicwrite -- fixture: justified raw write
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,20 @@
+// Fixture: "lib" is not a loop-driving package, so only the
+// Background/TODO check applies — the exported driver is not flagged.
+package lib
+
+import "context"
+
+func helper(ctx context.Context, n int) int { return n }
+
+func Drive(items []int) int {
+	var ctx context.Context
+	total := 0
+	for _, it := range items {
+		total += helper(ctx, it)
+	}
+	return total
+}
+
+func manufacture() context.Context {
+	return context.Background() // want `context.Background\(\) in library code severs`
+}

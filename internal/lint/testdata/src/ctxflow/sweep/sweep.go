@@ -1,0 +1,59 @@
+// Fixture for the ctxflow analyzer: "sweep" is one of the loop-driving
+// packages, so both checks apply here.
+package sweep
+
+import "context"
+
+type daemon struct {
+	root context.Context
+}
+
+func helper(ctx context.Context, n int) int { return n }
+
+func manufacture() context.Context {
+	return context.Background() // want `context.Background\(\) in library code severs`
+}
+
+func todo() context.Context {
+	return context.TODO() // want `context.TODO\(\) in library code severs`
+}
+
+func sanctionedRoot() context.Context {
+	//topocon:allow ctxflow -- fixture: justified context root
+	return context.Background()
+}
+
+// Drive loops and feeds context-aware callees without accepting a context.
+func Drive(items []int) int { // want `exported Drive drives a loop through context-aware callees`
+	var ctx context.Context
+	total := 0
+	for _, it := range items {
+		total += helper(ctx, it)
+	}
+	return total
+}
+
+// DriveCtx threads the caller's context: not flagged.
+func DriveCtx(ctx context.Context, items []int) int {
+	total := 0
+	for _, it := range items {
+		total += helper(ctx, it)
+	}
+	return total
+}
+
+// DaemonLoop passes a stored root context (field selector): the
+// sanctioned daemon pattern, not flagged.
+func (d *daemon) DaemonLoop(items []int) int {
+	total := 0
+	for _, it := range items {
+		total += helper(d.root, it)
+	}
+	return total
+}
+
+// NoLoop calls a context-aware callee but does not loop: not a driver.
+func NoLoop(it int) int {
+	var ctx context.Context
+	return helper(ctx, it)
+}

@@ -1,0 +1,28 @@
+// Fixture for the quarantine analyzer: deletion is legal only inside
+// quarantine/retire helpers or under a justified allow directive.
+package lib
+
+import "os"
+
+func cleanup(dir, path string) {
+	os.Remove(path)   // want `os.Remove deletes data`
+	os.RemoveAll(dir) // want `os.RemoveAll deletes data`
+}
+
+func quarantineRecord(path string) {
+	os.Remove(path) // helper name declares intent: allowed
+}
+
+func retireDocument(path string) {
+	os.Remove(path) // helper name declares intent: allowed
+}
+
+func justified(path string) {
+	//topocon:allow quarantine -- fixture: the path is a duplicate, not a record
+	os.Remove(path)
+}
+
+func missingJustification(path string) {
+	//topocon:allow quarantine // want `malformed //topocon:allow directive`
+	os.Remove(path) // want `os.Remove deletes data`
+}

@@ -1,0 +1,10 @@
+// Fixture: command mains are exempt — a CLI deleting its own scratch
+// output is not a record-hygiene question.
+package main
+
+import "os"
+
+func main() {
+	os.Remove("scratch.out")
+	os.RemoveAll("scratch.d")
+}

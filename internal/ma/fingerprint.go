@@ -23,6 +23,8 @@ import (
 // States at exactly the exploration depth contribute their Done flag but
 // not their transitions, so Fingerprint(a, d) distinguishes behaviours
 // that differ within d rounds and may merge ones that differ only later.
+//
+//topocon:export
 func Fingerprint(a Adversary, depth int) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "n=%d;compact=%v;\n", a.N(), a.Compact())

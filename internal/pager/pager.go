@@ -18,9 +18,12 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"log"
 	"os"
 	"path/filepath"
 	"sync"
+
+	"topocon/internal/fsx"
 )
 
 // pageMagic is the first line of every page file; the trailing version digit
@@ -56,6 +59,9 @@ type Stats struct {
 	// HotPages and TotalPages count resident and registered pages.
 	HotPages   int64 `json:"hotPages"`
 	TotalPages int64 `json:"totalPages"`
+	// QuarantineErrors counts corrupt pages whose move into quarantine/
+	// itself failed (the damaged file stayed in place).
+	QuarantineErrors int64 `json:"quarantineErrors,omitempty"`
 }
 
 // entry is one registered page; entries form a doubly-linked LRU list of
@@ -79,15 +85,18 @@ type Pager struct {
 	head    *entry // most recently used resident page
 	tail    *entry // least recently used resident page
 
-	hotBytes     int64
-	peakHotBytes int64
-	diskBytes    int64
-	written      int64
-	spilled      int64
-	faulted      int64
+	hotBytes       int64
+	peakHotBytes   int64
+	diskBytes      int64
+	written        int64
+	spilled        int64
+	faulted        int64
+	quarantineErrs int64
 }
 
 // New opens a pager over cfg.Dir, creating the directory if needed.
+//
+//topocon:export
 func New(cfg Config) (*Pager, error) {
 	if cfg.Dir == "" {
 		return nil, errors.New("pager: empty directory")
@@ -201,9 +210,9 @@ func (pg *Pager) Put(id string, payload []byte, onEvict func()) error {
 	return nil
 }
 
-// persist writes the framed page file atomically (temp + rename). An
-// existing file for the id is left untouched: pages are content-stable, so
-// re-persisting after a resume is a no-op.
+// persist writes the framed page file atomically (fsx.AtomicWrite: temp
+// sibling, sync, rename). An existing file for the id is left untouched:
+// pages are content-stable, so re-persisting after a resume is a no-op.
 func (pg *Pager) persist(id string, payload []byte) error {
 	if err := validID(id); err != nil {
 		return err
@@ -212,13 +221,8 @@ func (pg *Pager) persist(id string, payload []byte) error {
 	if _, err := os.Stat(path); err == nil {
 		return nil
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, encodePage(id, payload), 0o644); err != nil {
+	if err := fsx.AtomicWrite(path, encodePage(id, payload), 0o644); err != nil {
 		return fmt.Errorf("pager: write page %q: %w", id, err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("pager: commit page %q: %w", id, err)
 	}
 	return nil
 }
@@ -339,13 +343,21 @@ func (pg *Pager) Release(id string) {
 }
 
 // quarantine moves a damaged page file into the quarantine/ subdirectory,
-// best-effort: recovery must never be blocked by cleanup failures.
+// best-effort: recovery must never be blocked by cleanup failures — but a
+// failed move is logged and counted, never swallowed, because a page that
+// cannot be moved aside will be re-read (and re-fail) on every fault.
 func (pg *Pager) quarantine(id string) {
 	qdir := filepath.Join(pg.dir, "quarantine")
-	if err := os.MkdirAll(qdir, 0o755); err != nil {
-		return
+	err := os.MkdirAll(qdir, 0o755)
+	if err == nil {
+		err = os.Rename(pg.pagePath(id), filepath.Join(qdir, id+".page"))
 	}
-	os.Rename(pg.pagePath(id), filepath.Join(qdir, id+".page"))
+	if err != nil {
+		pg.mu.Lock()
+		pg.quarantineErrs++
+		pg.mu.Unlock()
+		log.Printf("pager: quarantine of page %q: %v", id, err)
+	}
 }
 
 // Stats returns a snapshot of the counters.
@@ -357,14 +369,15 @@ func (pg *Pager) Stats() Stats {
 		hot++
 	}
 	return Stats{
-		PagesWritten: pg.written,
-		PagesSpilled: pg.spilled,
-		PagesFaulted: pg.faulted,
-		HotBytes:     pg.hotBytes,
-		PeakHotBytes: pg.peakHotBytes,
-		DiskBytes:    pg.diskBytes,
-		HotPages:     hot,
-		TotalPages:   int64(len(pg.entries)),
+		PagesWritten:     pg.written,
+		PagesSpilled:     pg.spilled,
+		PagesFaulted:     pg.faulted,
+		HotBytes:         pg.hotBytes,
+		PeakHotBytes:     pg.peakHotBytes,
+		DiskBytes:        pg.diskBytes,
+		HotPages:         hot,
+		TotalPages:       int64(len(pg.entries)),
+		QuarantineErrors: pg.quarantineErrs,
 	}
 }
 

@@ -75,6 +75,8 @@ type internEntry struct {
 const internShardInitialSize = 64
 
 // NewInterner returns an empty interner.
+//
+//topocon:export
 func NewInterner() *Interner {
 	return &Interner{}
 }
@@ -87,6 +89,8 @@ func (in *Interner) Size() int {
 }
 
 // Leaf interns the time-0 view of process p with input x.
+//
+//topocon:allocfree
 func (in *Interner) Leaf(p, x int) ViewID {
 	var buf [1 + 2*binary.MaxVarintLen64]byte
 	buf[0] = 'L'
@@ -107,6 +111,8 @@ const nodeKeyStackSize = 2 + binary.MaxVarintLen64 + 24*2*binary.MaxVarintLen64
 // must pass children aligned with the ascending order of the in-neighbour
 // set; the neighbour identities are part of the encoding via their own
 // leaf/node process labels plus position, so the pair list is (q, id).
+//
+//topocon:allocfree
 func (in *Interner) Node(p int, qs []int, children []ViewID) ViewID {
 	var stack [nodeKeyStackSize]byte
 	buf := stack[:0]
@@ -129,6 +135,8 @@ func (in *Interner) Node(p int, qs []int, children []ViewID) ViewID {
 // intern returns the ID of key, assigning the next dense ID on first sight.
 // key is copied into the shard arena on insertion; the caller's buffer is
 // never retained, so stack-encoded keys do not escape.
+//
+//topocon:allocfree
 func (in *Interner) intern(key []byte) ViewID {
 	h := hashKey(key)
 	sh := &in.shards[h>>(64-6)] // top 6 bits pick one of the 64 shards

@@ -31,11 +31,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
+	"log"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
 
+	"topocon/internal/fsx"
 	"topocon/internal/sweep"
 )
 
@@ -43,9 +45,10 @@ const (
 	// recordVersion is the on-disk record format version; bump it when the
 	// framing or the sweep.Outcome JSON schema changes incompatibly.
 	recordVersion = 1
-	// recordExt and tmpExt are the record and temp-file name suffixes.
+	// recordExt is the record file name suffix; tmpExt marks in-flight
+	// writes (fsx.AtomicWrite temp siblings left behind by a crash).
 	recordExt = ".rec"
-	tmpExt    = ".tmp"
+	tmpExt    = fsx.TmpExt
 	// quarantineDir collects records that failed validation at startup.
 	quarantineDir = "quarantine"
 )
@@ -53,10 +56,13 @@ const (
 // Stats describes a store's state and traffic.
 type Stats struct {
 	// Records and Bytes size the live index; Quarantined counts records
-	// moved aside (at Open or on read) since the store was opened.
-	Records     int   `json:"records"`
-	Bytes       int64 `json:"bytes"`
-	Quarantined int   `json:"quarantined"`
+	// moved aside (at Open or on read) since the store was opened;
+	// QuarantineErrors counts quarantine moves that themselves failed
+	// (the bad file stayed in place — excluded from the index either way).
+	Records          int   `json:"records"`
+	Bytes            int64 `json:"bytes"`
+	Quarantined      int   `json:"quarantined"`
+	QuarantineErrors int   `json:"quarantineErrors,omitempty"`
 	// Dir is the store directory.
 	Dir string `json:"dir"`
 }
@@ -67,16 +73,19 @@ type Stats struct {
 type Store struct {
 	dir string
 
-	mu          sync.RWMutex
-	index       map[sweep.Key]sweep.Outcome
-	bytes       int64
-	quarantined int
+	mu             sync.RWMutex
+	index          map[sweep.Key]sweep.Outcome
+	bytes          int64
+	quarantined    int
+	quarantineErrs int
 }
 
 // Open creates the directory if needed and loads every record into the
 // in-memory index. Leftover temp files and invalid records are quarantined
 // (never deleted, never fatal); only I/O failures on the directory itself
 // error.
+//
+//topocon:export
 func Open(dir string) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("store: empty directory")
@@ -127,24 +136,18 @@ func (s *Store) Get(key sweep.Key) (sweep.Outcome, bool) {
 }
 
 // Put stores the outcome under the key: the record is encoded, checksummed,
-// written to a temp sibling and renamed into place, then indexed.
-// Implements sweep.Tier.
+// written atomically (fsx.AtomicWrite: temp sibling, sync, rename), then
+// indexed. Implements sweep.Tier.
 func (s *Store) Put(key sweep.Key, out sweep.Outcome) error {
 	data, err := encodeRecord(key, out)
 	if err != nil {
 		return err
 	}
 	name := recordName(key)
-	final := filepath.Join(s.dir, name)
-	tmp := final + tmpExt
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	if err := os.Rename(tmp, final); err != nil {
-		os.Remove(tmp)
+	if err := fsx.AtomicWrite(filepath.Join(s.dir, name), data, 0o644); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	if _, existed := s.index[key]; !existed {
@@ -166,10 +169,11 @@ func (s *Store) Stats() Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return Stats{
-		Records:     len(s.index),
-		Bytes:       s.bytes,
-		Quarantined: s.quarantined,
-		Dir:         s.dir,
+		Records:          len(s.index),
+		Bytes:            s.bytes,
+		Quarantined:      s.quarantined,
+		QuarantineErrors: s.quarantineErrs,
+		Dir:              s.dir,
 	}
 }
 
@@ -271,12 +275,19 @@ func (s *Store) loadRecord(name string) (sweep.Key, sweep.Outcome, int64, error)
 // quarantine moves a bad file into the quarantine subdirectory, creating it
 // lazily. Failures degrade to leaving the file in place — quarantining is
 // best-effort hygiene, never a correctness dependency (the file is already
-// excluded from the index).
+// excluded from the index) — but they are logged and counted, never
+// swallowed: a store that cannot move records aside has a misbehaving
+// directory, and the operator should hear about it.
 func (s *Store) quarantine(name string) {
 	s.quarantined++
 	qdir := filepath.Join(s.dir, quarantineDir)
 	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		s.quarantineErrs++
+		log.Printf("store: quarantine of %s: %v", name, err)
 		return
 	}
-	os.Rename(filepath.Join(s.dir, name), filepath.Join(qdir, name))
+	if err := os.Rename(filepath.Join(s.dir, name), filepath.Join(qdir, name)); err != nil {
+		s.quarantineErrs++
+		log.Printf("store: quarantine of %s: %v", name, err)
+	}
 }

@@ -14,6 +14,7 @@ package svc
 import (
 	"context"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"strings"
@@ -22,6 +23,7 @@ import (
 	"time"
 
 	"topocon/internal/check"
+	"topocon/internal/fsx"
 	"topocon/internal/scenario"
 	"topocon/internal/store"
 	"topocon/internal/sweep"
@@ -257,6 +259,7 @@ type Service struct {
 	jobsSubmitted  atomic.Int64
 	jobsRejected   atomic.Int64
 	jobsResumed    atomic.Int64
+	persistErrors  atomic.Int64
 
 	pagingMu sync.Mutex
 	paging   sweep.PagingSummary // cumulative across finished jobs
@@ -264,6 +267,8 @@ type Service struct {
 
 // New opens the store (when configured), builds the tiered cache and the
 // session pool, and starts the runner goroutines.
+//
+//topocon:allow ctxflow -- the daemon's construction is the process's context root; there is no caller context to inherit
 func New(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
 	s := &Service{
@@ -340,28 +345,32 @@ const jobDocExt = ".job"
 func (s *Service) jobsDir() string { return filepath.Join(s.cfg.CheckpointDir, "jobs") }
 
 // persistJob writes the job's raw submission document under the checkpoint
-// dir (atomically, via temp+rename) so a restarted daemon can re-submit
-// it. Best-effort: a write failure costs restart durability for this job,
-// not the job itself.
+// dir (atomically, via fsx.AtomicWrite) so a restarted daemon can
+// re-submit it. Best-effort: a write failure costs restart durability for
+// this job, not the job itself — but it is logged and counted (the
+// /metrics paging section's jobPersistErrors), never silently dropped.
 func (s *Service) persistJob(j *job) {
 	if s.cfg.CheckpointDir == "" || len(j.doc) == 0 {
 		return
 	}
 	dir := s.jobsDir()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
+		s.persistErrors.Add(1)
+		log.Printf("svc: persisting job %s: %v", j.id, err)
 		return
 	}
-	tmp := filepath.Join(dir, j.id+jobDocExt+".tmp")
-	if err := os.WriteFile(tmp, j.doc, 0o644); err != nil {
-		return
+	if err := fsx.AtomicWrite(filepath.Join(dir, j.id+jobDocExt), j.doc, 0o644); err != nil {
+		s.persistErrors.Add(1)
+		log.Printf("svc: persisting job %s: %v", j.id, err)
 	}
-	_ = os.Rename(tmp, filepath.Join(dir, j.id+jobDocExt))
 }
 
-// unpersistJob removes a job's persisted document once it has reached a
-// verdict (done or failed). Cancelled jobs keep theirs: shutdown is
-// exactly the case restart resume exists for.
-func (s *Service) unpersistJob(j *job) {
+// retireJobDoc removes a job's persisted document once it has reached a
+// verdict (done or failed) — the one sanctioned deletion in this package:
+// the verdict now lives in the store, so the document has served its
+// purpose and holds no information worth preserving. Cancelled jobs keep
+// theirs: shutdown is exactly the case restart resume exists for.
+func (s *Service) retireJobDoc(j *job) {
 	if s.cfg.CheckpointDir == "" {
 		return
 	}
@@ -409,7 +418,8 @@ func (s *Service) resumeJobs() {
 			continue // keep the document; the next restart retries
 		}
 		s.jobsResumed.Add(1)
-		_ = os.Remove(path) // submit persisted it again under the new id
+		//topocon:allow quarantine -- submit just re-persisted the same bytes under the job's new id; the old path is a duplicate, not a record
+		_ = os.Remove(path)
 	}
 }
 
@@ -526,7 +536,7 @@ func (s *Service) runJob(j *job) {
 		// Done and failed jobs have their verdict; cancelled ones keep their
 		// document so the next daemon re-submits them. Cleanup precedes the
 		// status flip so an observed terminal status implies it happened.
-		s.unpersistJob(j)
+		s.retireJobDoc(j)
 	}
 	j.mu.Lock()
 	j.status = status
@@ -626,10 +636,12 @@ type CacheMetrics struct {
 
 // PagingMetrics aggregates out-of-core traffic across finished jobs, plus
 // the jobs this daemon re-submitted from a predecessor's leftover
-// documents at startup.
+// documents at startup and the job-document persist failures (each one a
+// job that would not survive a restart).
 type PagingMetrics struct {
 	sweep.PagingSummary
-	JobsResumed int64 `json:"jobsResumed"`
+	JobsResumed      int64 `json:"jobsResumed"`
+	JobPersistErrors int64 `json:"jobPersistErrors,omitempty"`
 }
 
 // Metrics gathers the current metrics document.
@@ -678,7 +690,11 @@ func (s *Service) Metrics() Metrics {
 	}
 	if s.cfg.CheckpointDir != "" {
 		s.pagingMu.Lock()
-		pm := PagingMetrics{PagingSummary: s.paging, JobsResumed: s.jobsResumed.Load()}
+		pm := PagingMetrics{
+			PagingSummary:    s.paging,
+			JobsResumed:      s.jobsResumed.Load(),
+			JobPersistErrors: s.persistErrors.Load(),
+		}
 		s.pagingMu.Unlock()
 		m.Paging = &pm
 	}

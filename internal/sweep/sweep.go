@@ -96,6 +96,8 @@ type Config struct {
 // cancellation it returns the partial report together with the context
 // error: finished cells keep their results and unstarted cells report
 // StatusCancelled, so a cancelled sweep still yields a well-formed report.
+//
+//topocon:export
 func Run(ctx context.Context, tpl *scenario.Template, cfg Config) (*Report, error) {
 	cells, err := tpl.Expand()
 	if err != nil {
@@ -116,6 +118,8 @@ func Run(ctx context.Context, tpl *scenario.Template, cfg Config) (*Report, erro
 // cache, session-pool slot, timeout and progress machinery exactly like a
 // template cell, so daemons and CLIs can serve both document kinds with
 // one code path and one shared verdict corpus.
+//
+//topocon:export
 func RunScenario(ctx context.Context, sc *scenario.Scenario, cfg Config) (*Report, error) {
 	report := &Report{
 		Template: sc.Name,

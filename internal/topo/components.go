@@ -51,6 +51,7 @@ type Decomposition struct {
 // horizon, because view equality at the horizon implies view equality at
 // all earlier times (refinement property, package ptg).
 func Decompose(s *Space) *Decomposition {
+	//topocon:allow ctxflow -- documented pre-context convenience shim; cancellable callers use DecomposeCtx
 	d, err := DecomposeCtx(context.Background(), s)
 	if err != nil {
 		// Unreachable: the background context never cancels and the
@@ -70,6 +71,8 @@ func Decompose(s *Space) *Decomposition {
 // concurrency-safe), and a sequential merge closes the relation across
 // ranges — the transitive closure does not depend on the order unions are
 // applied.
+//
+//topocon:export
 func DecomposeCtx(ctx context.Context, s *Space) (*Decomposition, error) {
 	u := uf.New(s.Len())
 	// Bucket runs by hash-consed view ID; every bucket is a clique in the
@@ -274,6 +277,8 @@ func (d *Decomposition) ValentComponentsBroadcastable() bool {
 // For compact solvable adversaries this level stays bounded as the horizon
 // grows (Fig. 4: decision sets have positive distance); for non-compact
 // adversaries it grows without bound (Fig. 5: distance-0 limits).
+//
+//topocon:allow ctxflow -- pre-context API over a bounded CPU-only scan; the worker pool's context parameter is vacuous here (no cancellation point, no error path)
 func (d *Decomposition) CrossValenceLevel() (int, bool) {
 	s := d.Space
 	sig := make([]int32, len(d.Comps))

@@ -51,6 +51,8 @@ func (s *Space) Extend(ctx context.Context, horizon int) (*Space, error) {
 // core of the checker's wall clock: one interned view row, one automaton
 // step, and column writes — no Views clone, no Run copy, no per-child
 // allocation (pinned by TestExtendAllocsPerChild).
+//
+//topocon:allocfree
 func (s *Space) extendOne(ctx context.Context) (*Space, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err

@@ -90,6 +90,8 @@ func (sc *refineScratch) acquire(size int, epochs int32) {
 //
 // Refine errors if child was not produced by a one-round Extend of the
 // decomposed space (from-scratch builds carry no parent linkage).
+//
+//topocon:allocfree
 func (d *Decomposition) Refine(ctx context.Context, child *Space) (*Decomposition, error) {
 	parent := d.Space
 	if child == nil || child.parentOffsets == nil ||

@@ -162,6 +162,7 @@ type Config struct {
 // given input domain size (≥ 2 values for consensus to be non-trivial).
 // maxRuns ≤ 0 selects DefaultMaxRuns.
 func Build(adv ma.Adversary, inputDomain, horizon, maxRuns int) (*Space, error) {
+	//topocon:allow ctxflow -- documented pre-context convenience shim; cancellable callers use BuildCtx
 	return BuildCtx(context.Background(), adv, inputDomain, horizon, Config{MaxRuns: maxRuns})
 }
 
@@ -169,6 +170,7 @@ func Build(adv ma.Adversary, inputDomain, horizon, maxRuns int) (*Space, error) 
 // views of different spaces (or of a compiled decision map) are comparable.
 // A nil interner allocates a fresh one.
 func BuildWithInterner(adv ma.Adversary, inputDomain, horizon, maxRuns int, interner *ptg.Interner) (*Space, error) {
+	//topocon:allow ctxflow -- documented pre-context convenience shim; cancellable callers use BuildCtx
 	return BuildCtx(context.Background(), adv, inputDomain, horizon,
 		Config{MaxRuns: maxRuns, Interner: interner})
 }
@@ -184,6 +186,8 @@ func BuildWithInterner(adv ma.Adversary, inputDomain, horizon, maxRuns int, inte
 // order, parents in item order). The final item count is cross-checked
 // against the automaton's independent ma.CountPrefixes; a from-scratch
 // build carries no Refine parent linkage (see Decomposition.Refine).
+//
+//topocon:export
 func BuildCtx(ctx context.Context, adv ma.Adversary, inputDomain, horizon int, cfg Config) (*Space, error) {
 	if inputDomain < 1 {
 		return nil, fmt.Errorf("topo: input domain size %d < 1", inputDomain)

@@ -26,6 +26,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -35,6 +36,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"topocon/internal/retry"
 )
 
 type submitAck struct {
@@ -267,28 +270,33 @@ func replay(base, file string, timeout time.Duration, verbose bool, t *tally) {
 	}
 }
 
-// submit POSTs the document, retrying queue-full responses with backoff.
+// submit POSTs the document, retrying queue-full responses with the
+// shared capped-backoff-plus-jitter policy (internal/retry) so a client
+// run at a concurrency exceeding the service's queue spreads its retries
+// instead of hammering in lockstep. Everything except a 429 is permanent.
 func submit(base string, doc []byte) (submitAck, error) {
 	var ack submitAck
-	for attempt := 0; ; attempt++ {
+	policy := retry.Policy{Base: 100 * time.Millisecond, Max: 2 * time.Second, Attempts: 100}
+	err := retry.Do(context.Background(), policy, func(context.Context) error {
 		resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(string(doc)))
 		if err != nil {
-			return ack, err
+			return retry.Permanent(err)
 		}
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 		resp.Body.Close()
-		switch {
-		case resp.StatusCode == http.StatusAccepted:
+		switch resp.StatusCode {
+		case http.StatusAccepted:
 			if err := json.Unmarshal(body, &ack); err != nil {
-				return ack, err
+				return retry.Permanent(err)
 			}
-			return ack, nil
-		case resp.StatusCode == http.StatusTooManyRequests && attempt < 100:
-			time.Sleep(100 * time.Millisecond)
+			return nil
+		case http.StatusTooManyRequests:
+			return fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
 		default:
-			return ack, fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+			return retry.Permanent(fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(body))))
 		}
-	}
+	})
+	return ack, err
 }
 
 // followEvents drains the job's ndjson event stream until it closes

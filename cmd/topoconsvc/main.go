@@ -34,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"topocon/internal/faultfs"
 	"topocon/internal/svc"
 )
 
@@ -51,12 +52,24 @@ func main() {
 		ckptDir     = flag.String("checkpoint-dir", "", "durability directory: per-cell session checkpoints and accepted job documents; leftover jobs are re-submitted at startup (empty = off)")
 		ckptEvery   = flag.Int("checkpoint-every", 1, "cell checkpoint cadence in horizons (with -checkpoint-dir)")
 		hotBytes    = flag.Int64("pager-hot-bytes", 0, "per-cell frontier hot-set budget in bytes; colder rounds spill to the checkpoint dir (0 = unlimited, with -checkpoint-dir)")
+		workerID    = flag.String("worker-id", "", "coordinated worker mode: this daemon's id in a fleet sharing one -store-dir/-checkpoint-dir; enables the /v1/cells claim endpoints (needs -checkpoint-dir)")
+		leaseTTL    = flag.Duration("lease-ttl", 30*time.Second, "cell-lease duration in coordinated worker mode; claims renew every third of it")
+		faultSpec   = flag.String("fault", "", "deterministic fault-injection schedule for chaos testing, e.g. 'fail:lease:2,stall:horizon:3' (see internal/faultfs)")
 	)
 	flag.Parse()
 	if *storeDir == "" {
 		fmt.Fprintln(os.Stderr, "topoconsvc: -store-dir is required (the daemon exists to persist verdicts)")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *workerID != "" && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "topoconsvc: -worker-id needs -checkpoint-dir (leases and adoptable checkpoints live there)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	faults, err := faultfs.Parse(*faultSpec)
+	if err != nil {
+		log.Fatalf("topoconsvc: %v", err)
 	}
 
 	service, err := svc.New(svc.Config{
@@ -70,6 +83,9 @@ func main() {
 		CheckpointDir:   *ckptDir,
 		CheckpointEvery: *ckptEvery,
 		PagerHotBytes:   *hotBytes,
+		WorkerID:        *workerID,
+		LeaseTTL:        *leaseTTL,
+		Faults:          faults,
 	})
 	if err != nil {
 		log.Fatalf("topoconsvc: %v", err)
@@ -82,6 +98,9 @@ func main() {
 		} else {
 			log.Printf("topoconsvc: checkpoint dir %s: no unfinished jobs", *ckptDir)
 		}
+	}
+	if *workerID != "" {
+		log.Printf("topoconsvc: coordinated worker %q (lease TTL %v)", *workerID, *leaseTTL)
 	}
 
 	server := &http.Server{Addr: *addr, Handler: service.Handler()}

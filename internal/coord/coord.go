@@ -1,0 +1,503 @@
+// Package coord is the coordinator half of the multi-worker sweep
+// protocol: it expands a template grid once, dispatches each cell to a
+// fleet of topoconsvc workers over HTTP/JSON (POST /v1/cells/{key}/claim),
+// and merges the decorated per-cell results into one sweep report in grid
+// order — as if a single process had run the sweep.
+//
+// Fault tolerance is built from three mechanisms, all observable in the
+// merged report's provenance fields (Worker, Attempt, StolenFrom):
+//
+//   - Leases. Workers record a time-bounded lease per cell in the shared
+//     checkpoint directory and renew it while solving. The coordinator
+//     never reads those files — the 409 conflict body (holder + expiry)
+//     tells it exactly who owns a cell and how long to wait before the
+//     next claim can steal it.
+//
+//   - Steals with checkpoint adoption. When a worker dies, its TCP
+//     connection drops but its lease (and per-cell checkpoint) survive on
+//     disk. The coordinator marks the worker dead, re-dispatches the cell
+//     to a peer naming the dead holder as adoptFrom, and the peer resumes
+//     from the adopted checkpoint with zero horizon re-extension.
+//
+//   - A per-cell circuit breaker. Transient refusals (409 lease conflicts,
+//     429 slot exhaustion) wait-and-retry without limit; genuine failures
+//     (HTTP 500, cell Status "error") count against Config.MaxAttempts,
+//     after which the cell is recorded as a terminal error instead of
+//     retrying forever. Backoff between failure retries comes from
+//     internal/retry's capped-exponential-with-full-jitter policy.
+package coord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"topocon/internal/retry"
+	"topocon/internal/scenario"
+	"topocon/internal/sweep"
+)
+
+// Config parameterizes a coordinated sweep run.
+type Config struct {
+	// Workers are the fleet's base URLs, e.g. "http://127.0.0.1:8081".
+	// Workers that stop answering TCP are marked dead for the rest of the
+	// run; their leased cells are stolen by the survivors.
+	Workers []string
+	// LeaseTTL is the per-cell lease duration sent with every claim; a
+	// worker that misses renewals for this long loses the cell (≤ 0: 30s).
+	LeaseTTL time.Duration
+	// MaxAttempts is the per-cell circuit breaker: the number of failed
+	// dispatches (HTTP 500 or cell Status "error") a cell may accumulate
+	// before it is recorded as a terminal error (≤ 0: 4).
+	MaxAttempts int
+	// Dispatchers bounds the cells in flight at once (≤ 0: 2 per worker).
+	Dispatchers int
+	// Retry shapes the backoff between failure re-dispatches and busy
+	// (429) retries. The zero value is the package default policy.
+	Retry retry.Policy
+	// Client is the HTTP client for claims. Nil uses a client without a
+	// timeout — a claim blocks for the whole solve, so per-request
+	// deadlines belong in the context given to Run, not the client.
+	Client *http.Client
+	// OnCell, when set, observes each cell result as it is accepted (in
+	// completion order, not grid order; called serially).
+	OnCell func(sweep.CellResult)
+	// Logf, when set, receives progress lines (nil: the standard logger).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 30 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.Dispatchers <= 0 {
+		c.Dispatchers = 2 * len(c.Workers)
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return c
+}
+
+// Stats counts the run's dispatch traffic — the coordinator-side view of
+// the fleet's health.
+type Stats struct {
+	// Cells is the grid size; Dispatched the claim POSTs that reached a
+	// worker attempt (including ones answered 409/429).
+	Cells      int `json:"cells"`
+	Dispatched int `json:"dispatched"`
+	// Retries counts dispatches past each cell's first.
+	Retries int `json:"retries"`
+	// Steals counts results whose worker took over a dead peer's lease.
+	Steals int `json:"steals"`
+	// BreakerTrips counts cells abandoned as terminal errors after
+	// MaxAttempts failed dispatches.
+	BreakerTrips int `json:"breakerTrips"`
+	// DeadWorkers counts workers marked dead (transport failure or drain).
+	DeadWorkers int `json:"deadWorkers"`
+}
+
+// ErrNoWorkers is returned by Run when the fleet is empty.
+var ErrNoWorkers = errors.New("coord: no workers configured")
+
+// errAllDead terminates a cell when every worker has been marked dead.
+var errAllDead = errors.New("coord: all workers dead")
+
+// cellWork is one grid cell prepared for dispatch: its key, the marshalled
+// claim body scenario, and the metadata echoed into terminal results the
+// fleet never produced (breaker trips, all-dead).
+type cellWork struct {
+	index    int
+	name     string
+	bindings []scenario.Binding
+	key      sweep.Key
+	keyErr   error
+	spec     []byte
+}
+
+// Run expands the template grid, dispatches every cell across the fleet,
+// and returns the merged report (cells in grid order) plus dispatch stats.
+// The error is non-nil only for whole-run failures — an empty fleet, a
+// template that cannot expand, a cancelled context; per-cell failures are
+// recorded in the report, never returned.
+//
+//topocon:export
+func Run(ctx context.Context, tpl *scenario.Template, cfg Config) (*sweep.Report, *Stats, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Workers) == 0 {
+		return nil, nil, ErrNoWorkers
+	}
+	cells, err := tpl.Expand()
+	if err != nil {
+		return nil, nil, fmt.Errorf("coord: expanding %s: %w", tpl.Name, err)
+	}
+
+	work := make([]cellWork, len(cells))
+	for i, cell := range cells {
+		w := cellWork{index: i, name: cell.Scenario.Name, bindings: cell.Bindings}
+		w.key, w.keyErr = sweep.KeyFor(cell.Scenario.Adversary, cell.Scenario.Options)
+		if w.keyErr == nil {
+			w.spec, w.keyErr = json.Marshal(cell.Scenario.Spec)
+		}
+		work[i] = w
+	}
+
+	co := &coordinator{
+		cfg:   cfg,
+		pool:  newWorkerPool(cfg.Workers),
+		stats: Stats{Cells: len(cells)},
+	}
+	start := time.Now()
+	results := make([]sweep.CellResult, len(cells))
+	queue := make(chan int)
+	var wg sync.WaitGroup
+	for d := 0; d < cfg.Dispatchers; d++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range queue {
+				res := co.runCell(ctx, work[i])
+				results[i] = res
+				co.observe(res)
+			}
+		}()
+	}
+	for i := range work {
+		queue <- i
+	}
+	close(queue)
+	wg.Wait()
+
+	rep := &sweep.Report{
+		Template:   tpl.Name,
+		Params:     tpl.Params,
+		Workers:    len(cfg.Workers),
+		WallMillis: float64(time.Since(start)) / float64(time.Millisecond),
+		Cells:      results,
+		Summary:    sweep.Summarize(results),
+	}
+	stats := co.snapshot()
+	if ctx.Err() != nil {
+		return rep, &stats, fmt.Errorf("coord: %w", ctx.Err())
+	}
+	return rep, &stats, nil
+}
+
+// coordinator is the shared state of one Run.
+type coordinator struct {
+	cfg  Config
+	pool *workerPool
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+func (co *coordinator) observe(res sweep.CellResult) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if res.StolenFrom != "" {
+		co.stats.Steals++
+	}
+	if co.cfg.OnCell != nil {
+		co.cfg.OnCell(res)
+	}
+}
+
+func (co *coordinator) snapshot() Stats {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.stats
+}
+
+func (co *coordinator) count(f func(*Stats)) {
+	co.mu.Lock()
+	f(&co.stats)
+	co.mu.Unlock()
+}
+
+// runCell owns one cell from first dispatch to accepted result. Transient
+// refusals (lease conflicts, busy workers, worker deaths) loop without a
+// failure budget — they resolve by waiting or by the fleet shrinking —
+// while genuine failures count toward the circuit breaker.
+func (co *coordinator) runCell(ctx context.Context, w cellWork) sweep.CellResult {
+	if w.keyErr != nil {
+		return w.terminal(0, fmt.Sprintf("keying cell: %v", w.keyErr))
+	}
+	var (
+		attempt   int    // dispatches sent (1-based in the claim body)
+		failures  int    // breaker budget consumed
+		busy      int    // consecutive 429s, for backoff growth
+		adoptFrom string // previous lease holder, once known
+		lastErr   string
+	)
+	for {
+		if ctx.Err() != nil {
+			return w.cancelled(attempt)
+		}
+		worker, ok := co.pool.pick()
+		if !ok {
+			co.cfg.Logf("coord: cell %s: %v after %d dispatches", w.name, errAllDead, attempt)
+			return w.terminal(attempt, errAllDead.Error())
+		}
+		attempt++
+		co.count(func(s *Stats) {
+			s.Dispatched++
+			if attempt > 1 {
+				s.Retries++
+			}
+		})
+		out := co.claim(ctx, worker, w, attempt, adoptFrom)
+		switch out.kind {
+		case claimOK:
+			if out.res.Status == sweep.StatusError {
+				failures++
+				lastErr = out.res.Err
+				if failures >= co.cfg.MaxAttempts {
+					return co.trip(w, out.res)
+				}
+				co.cfg.Logf("coord: cell %s: attempt %d failed on %s: %s (retrying)", w.name, attempt, worker, out.res.Err)
+				if retry.Sleep(ctx, co.cfg.Retry.Delay(failures)) != nil {
+					return w.cancelled(attempt)
+				}
+				continue
+			}
+			return out.res
+
+		case claimConflicted:
+			// A live peer holds the lease. Remember the holder — if it is
+			// dead, the next claim that outlives the lease steals the cell
+			// and adopts its checkpoint. Poll again at a fraction of the
+			// TTL so a graceful release is picked up early.
+			if out.holder != "" {
+				adoptFrom = out.holder
+			}
+			if retry.Sleep(ctx, co.conflictWait(out.expires)) != nil {
+				return w.cancelled(attempt)
+			}
+
+		case claimBusy:
+			busy++
+			if retry.Sleep(ctx, co.cfg.Retry.Delay(busy)) != nil {
+				return w.cancelled(attempt)
+			}
+
+		case claimWorkerGone:
+			// The worker is unreachable or draining: mark it dead and move
+			// on. Not a cell failure — if the dead worker held this cell's
+			// lease, the next claim will 409 against it and the conflict
+			// body identifies whom to steal from.
+			if co.pool.markDead(worker) {
+				co.count(func(s *Stats) { s.DeadWorkers++ })
+				co.cfg.Logf("coord: worker %s marked dead (%s)", worker, out.err)
+			}
+
+		case claimFailed:
+			failures++
+			lastErr = out.err
+			if failures >= co.cfg.MaxAttempts {
+				return co.trip(w, w.terminal(attempt, lastErr))
+			}
+			co.cfg.Logf("coord: cell %s: attempt %d on %s: %s (retrying)", w.name, attempt, worker, out.err)
+			if retry.Sleep(ctx, co.cfg.Retry.Delay(failures)) != nil {
+				return w.cancelled(attempt)
+			}
+
+		case claimRejected:
+			// 400: deterministic — the same body would be rejected again.
+			return w.terminal(attempt, out.err)
+		}
+	}
+}
+
+// trip records a circuit-breaker trip and returns the cell's terminal
+// result (the last failed attempt's, so its error is preserved).
+func (co *coordinator) trip(w cellWork, res sweep.CellResult) sweep.CellResult {
+	co.count(func(s *Stats) { s.BreakerTrips++ })
+	res.Err = fmt.Sprintf("circuit breaker open after %d failed dispatches: %s", co.cfg.MaxAttempts, res.Err)
+	co.cfg.Logf("coord: cell %s: %s", w.name, res.Err)
+	return res
+}
+
+// conflictWait converts a 409 body's lease expiry into a sleep: long
+// enough to matter, short enough to notice an early release, never past
+// the expiry by more than the poll floor.
+func (co *coordinator) conflictWait(expires time.Time) time.Duration {
+	const floor = 20 * time.Millisecond
+	wait := co.cfg.LeaseTTL / 4
+	if !expires.IsZero() {
+		if until := time.Until(expires) + floor; until < wait {
+			wait = until
+		}
+	}
+	if wait < floor {
+		wait = floor
+	}
+	return wait
+}
+
+// claimOutcome classifies one claim POST.
+type claimOutcome struct {
+	kind    claimKind
+	res     sweep.CellResult // claimOK
+	holder  string           // claimConflicted
+	expires time.Time        // claimConflicted
+	err     string           // everything else
+}
+
+type claimKind int
+
+const (
+	claimOK         claimKind = iota // 200: result accepted (possibly Status error)
+	claimConflicted                  // 409: leased to a live holder
+	claimBusy                        // 429: no session slot free
+	claimWorkerGone                  // transport error or 503: worker dead/draining
+	claimFailed                      // 500: retryable worker-side failure
+	claimRejected                    // 400: permanent rejection
+)
+
+// conflictBody mirrors the worker's 409 response.
+type conflictBody struct {
+	Error   string    `json:"error"`
+	Holder  string    `json:"holder"`
+	Expires time.Time `json:"expires"`
+}
+
+// claim POSTs one dispatch to worker and classifies the answer.
+func (co *coordinator) claim(ctx context.Context, worker string, w cellWork, attempt int, adoptFrom string) claimOutcome {
+	body, err := json.Marshal(map[string]any{
+		"scenario":  json.RawMessage(w.spec),
+		"ttlMillis": co.cfg.LeaseTTL.Milliseconds(),
+		"attempt":   attempt,
+		"adoptFrom": adoptFrom,
+	})
+	if err != nil {
+		return claimOutcome{kind: claimRejected, err: fmt.Sprintf("encoding claim: %v", err)}
+	}
+	u := worker + "/v1/cells/" + url.PathEscape(w.key.String()) + "/claim"
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
+	if err != nil {
+		return claimOutcome{kind: claimRejected, err: fmt.Sprintf("building claim request: %v", err)}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := co.cfg.Client.Do(req)
+	if err != nil {
+		return claimOutcome{kind: claimWorkerGone, err: err.Error()}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		// The worker died mid-response; the claim's fate is unknown, but
+		// its lease is on disk either way — same recovery as a dead TCP dial.
+		return claimOutcome{kind: claimWorkerGone, err: fmt.Sprintf("reading claim response: %v", err)}
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var res sweep.CellResult
+		if err := json.Unmarshal(data, &res); err != nil {
+			return claimOutcome{kind: claimFailed, err: fmt.Sprintf("decoding result: %v", err)}
+		}
+		return claimOutcome{kind: claimOK, res: res}
+	case http.StatusConflict:
+		var c conflictBody
+		_ = json.Unmarshal(data, &c)
+		return claimOutcome{kind: claimConflicted, holder: c.Holder, expires: c.Expires, err: c.Error}
+	case http.StatusTooManyRequests:
+		return claimOutcome{kind: claimBusy, err: apiErrorText(data)}
+	case http.StatusServiceUnavailable:
+		return claimOutcome{kind: claimWorkerGone, err: apiErrorText(data)}
+	case http.StatusBadRequest:
+		return claimOutcome{kind: claimRejected, err: apiErrorText(data)}
+	default:
+		return claimOutcome{kind: claimFailed, err: fmt.Sprintf("HTTP %d: %s", resp.StatusCode, apiErrorText(data))}
+	}
+}
+
+// apiErrorText extracts the {"error": ...} body, falling back to the raw bytes.
+func apiErrorText(data []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return string(bytes.TrimSpace(data))
+}
+
+// terminal builds a cell result the fleet never produced: keying errors,
+// breaker trips without a worker-side result, all-dead runs.
+func (w cellWork) terminal(attempt int, msg string) sweep.CellResult {
+	return sweep.CellResult{
+		Name:              w.name,
+		Bindings:          w.bindings,
+		Fingerprint:       w.key.Fingerprint,
+		Status:            sweep.StatusError,
+		SeparationHorizon: -1,
+		Attempt:           attempt,
+		Err:               msg,
+	}
+}
+
+func (w cellWork) cancelled(attempt int) sweep.CellResult {
+	return sweep.CellResult{
+		Name:              w.name,
+		Bindings:          w.bindings,
+		Fingerprint:       w.key.Fingerprint,
+		Status:            sweep.StatusCancelled,
+		SeparationHorizon: -1,
+		Attempt:           attempt,
+	}
+}
+
+// workerPool is the fleet roster: round-robin assignment skipping workers
+// marked dead. Death is permanent for the run — a worker that dropped TCP
+// mid-claim may have half a solve in flight, and re-trusting it buys
+// little over letting the survivors steal its cells.
+type workerPool struct {
+	mu   sync.Mutex
+	urls []string
+	dead map[string]bool
+	next int
+}
+
+func newWorkerPool(urls []string) *workerPool {
+	return &workerPool{urls: urls, dead: make(map[string]bool, len(urls))}
+}
+
+// pick returns the next live worker, or ok=false when none remain.
+func (p *workerPool) pick() (string, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := 0; i < len(p.urls); i++ {
+		u := p.urls[p.next%len(p.urls)]
+		p.next++
+		if !p.dead[u] {
+			return u, true
+		}
+	}
+	return "", false
+}
+
+// markDead records a worker as dead; false if it already was.
+func (p *workerPool) markDead(url string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.dead[url] {
+		return false
+	}
+	p.dead[url] = true
+	return true
+}

@@ -1,0 +1,380 @@
+package coord
+
+// The coordinator's tests run real topoconsvc services (in-process, over
+// httptest) sharing one store + checkpoint directory — the same fleet
+// shape as the CI chaos E2E, minus the separate processes. Worker death
+// is simulated the way it actually manifests: a faultfs stall wedges the
+// solve mid-cell with the lease on disk, and closing the server's client
+// connections kills the coordinator's claim in flight.
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"topocon/internal/faultfs"
+	"topocon/internal/retry"
+	"topocon/internal/scenario"
+	"topocon/internal/store"
+	"topocon/internal/svc"
+	"topocon/internal/sweep"
+)
+
+// gridTemplate is a 6-cell loss-budget grid: f=0 keeps the complete graph
+// (solvable), f=1,2 are lossy (impossible), each at horizons 3 and 4.
+const gridTemplate = `{
+  "name": "lossbound-coord",
+  "params": {"f": "0..2", "horizon": [3, 4]},
+  "n": 2,
+  "adversary": {"op": "loss-bounded", "f": "${f}"},
+  "check": {"maxHorizon": "${horizon}"}
+}`
+
+// oneCellTemplate is a single-cell grid for dispatch-machinery tests.
+const oneCellTemplate = `{
+  "name": "one-cell",
+  "params": {"f": [1]},
+  "n": 2,
+  "adversary": {"op": "loss-bounded", "f": "${f}"},
+  "check": {"maxHorizon": 3}
+}`
+
+// fastRetry keeps test backoffs in the low milliseconds. No seeded Rand:
+// Policy.Delay is called from concurrent dispatchers and the process
+// global source is the goroutine-safe one.
+func fastRetry() retry.Policy {
+	return retry.Policy{Base: 2 * time.Millisecond, Max: 30 * time.Millisecond}
+}
+
+func parseTemplate(t *testing.T, doc string) *scenario.Template {
+	t.Helper()
+	tpl, err := scenario.ParseTemplate([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tpl
+}
+
+// testWorker is one in-process topoconsvc fleet member.
+type testWorker struct {
+	id  string
+	svc *svc.Service
+	ts  *httptest.Server
+}
+
+// newWorker boots a coordinated worker on the shared directories. Cleanup
+// closes the HTTP server before shutting the service down, so any wedged
+// claim must be un-wedged (faults.ReleaseStalls) by an earlier cleanup.
+func newWorker(t *testing.T, storeDir, ckptDir, id string, faults *faultfs.Schedule) *testWorker {
+	t.Helper()
+	s, err := svc.New(svc.Config{
+		StoreDir:      storeDir,
+		CheckpointDir: ckptDir,
+		WorkerID:      id,
+		Workers:       1,
+		Faults:        faults,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutting down %s: %v", id, err)
+		}
+	})
+	return &testWorker{id: id, svc: s, ts: ts}
+}
+
+func TestRunMergesFleetSweep(t *testing.T) {
+	storeDir, ckptDir := t.TempDir(), t.TempDir()
+	w1 := newWorker(t, storeDir, ckptDir, "w1", nil)
+	w2 := newWorker(t, storeDir, ckptDir, "w2", nil)
+
+	tpl := parseTemplate(t, gridTemplate)
+	rep, stats, err := Run(context.Background(), tpl, Config{
+		Workers:  []string{w1.ts.URL, w2.ts.URL},
+		LeaseTTL: time.Second,
+		Retry:    fastRetry(),
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.Summary
+	if s.Cells != 6 || s.Done != 6 || s.Errors != 0 || s.Cancelled != 0 {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Merged cells come back in grid order, exactly the expansion's.
+	cells, err := tpl.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cells {
+		got := rep.Cells[i]
+		if got.Name != cells[i].Scenario.Name {
+			t.Fatalf("cell %d = %q, want %q (grid order)", i, got.Name, cells[i].Scenario.Name)
+		}
+		if got.Worker != "w1" && got.Worker != "w2" {
+			t.Fatalf("cell %q solved by %q", got.Name, got.Worker)
+		}
+		want := "impossible"
+		if strings.Contains(got.Name, "f=0") {
+			want = "solvable"
+		}
+		if got.Verdict != want {
+			t.Fatalf("cell %q verdict = %q, want %q", got.Name, got.Verdict, want)
+		}
+	}
+	if stats.Cells != 6 || stats.Dispatched < 6 || stats.Steals != 0 || stats.DeadWorkers != 0 || stats.BreakerTrips != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+// TestRunStealsFromDeadWorker is the in-process chaos drill: one worker
+// wedges mid-solve with its lease on disk (a faultfs horizon stall), the
+// coordinator's claim connection is severed, and the sweep must still
+// finish — the dead worker's cell stolen by the survivor, the merged
+// report byte-profile-identical to a single-process run of the same grid.
+func TestRunStealsFromDeadWorker(t *testing.T) {
+	storeDir, ckptDir := t.TempDir(), t.TempDir()
+	faults, err := faultfs.Parse("stall:horizon:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := newWorker(t, storeDir, ckptDir, "w1", faults)
+	w2 := newWorker(t, storeDir, ckptDir, "w2", nil)
+	// Cleanups run LIFO: un-wedge w1's stalled solve before the servers
+	// close, or ts.Close would wait on the wedged handler forever.
+	t.Cleanup(faults.ReleaseStalls)
+
+	// A read-only view of the fleet's shared lease directory, opened while
+	// it is still empty so the open-time hygiene sweep races nobody.
+	leases, err := store.OpenLeases(filepath.Join(ckptDir, "leases"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tpl := parseTemplate(t, gridTemplate)
+	cells, err := tpl.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]sweep.Key, len(cells))
+	for i, c := range cells {
+		if keys[i], err = sweep.KeyFor(c.Scenario.Adversary, c.Scenario.Options); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	type outcome struct {
+		rep   *sweep.Report
+		stats *Stats
+		err   error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		rep, stats, err := Run(context.Background(), tpl, Config{
+			Workers:  []string{w1.ts.URL, w2.ts.URL},
+			LeaseTTL: 300 * time.Millisecond,
+			Retry:    fastRetry(),
+			Logf:     t.Logf,
+		})
+		done <- outcome{rep, stats, err}
+	}()
+
+	// Wait for w1 to wedge: its first solve stalls at the first horizon
+	// with its lease held on disk. Then kill the coordinator's connections
+	// to it — the TCP half of a SIGKILL. The server-side request context
+	// dies with the connection, which stops the lease renewals; the lease
+	// expires and the survivor steals the cell.
+	deadline := time.Now().Add(15 * time.Second)
+	wedged := false
+	for !wedged && time.Now().Before(deadline) {
+		for _, k := range keys {
+			if l, ok := leases.Get(k); ok && l.Holder == "w1" && l.State == store.LeaseHeld {
+				wedged = true
+				break
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !wedged {
+		t.Fatal("w1 never held a lease; the stall fault did not engage")
+	}
+	time.Sleep(50 * time.Millisecond) // let the solve reach the stall point
+	w1.ts.CloseClientConnections()
+
+	var out outcome
+	select {
+	case out = <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("coordinated sweep did not finish after the worker died")
+	}
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	s := out.rep.Summary
+	if s.Cells != 6 || s.Done != 6 || s.Errors != 0 || s.Cancelled != 0 {
+		t.Fatalf("summary = %+v: a dead worker must cost no cells", s)
+	}
+	if out.stats.Steals < 1 {
+		t.Fatalf("stats = %+v: want at least one steal", out.stats)
+	}
+	if out.stats.DeadWorkers != 1 {
+		t.Fatalf("stats = %+v: want exactly one dead worker", out.stats)
+	}
+	stolen := 0
+	seen := make(map[string]bool, len(cells))
+	for _, c := range out.rep.Cells {
+		if seen[c.Name] {
+			t.Fatalf("cell %q appears twice in the merged report", c.Name)
+		}
+		seen[c.Name] = true
+		if c.StolenFrom != "" {
+			stolen++
+			if c.StolenFrom != "w1" || c.Worker != "w2" {
+				t.Fatalf("cell %q stolen from %q by %q, want w1 by w2", c.Name, c.StolenFrom, c.Worker)
+			}
+		}
+	}
+	if stolen < 1 {
+		t.Fatal("no merged cell carries StolenFrom provenance")
+	}
+
+	// The merged verdict profile must equal a single-process golden run.
+	golden, err := sweep.Run(context.Background(), parseTemplate(t, gridTemplate), sweep.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range golden.Cells {
+		g, m := golden.Cells[i], out.rep.Cells[i]
+		if g.Name != m.Name || g.Status != m.Status || g.Verdict != m.Verdict || g.SeparationHorizon != m.SeparationHorizon {
+			t.Fatalf("cell %d diverges from the single-process golden run:\n  golden %+v\n  merged %+v", i, g, m)
+		}
+	}
+}
+
+func TestRunTripsBreakerOnRepeatedFailure(t *testing.T) {
+	// Two one-shot lease-write faults: the worker's first two lease
+	// acquisitions fail with HTTP 500, which is exactly MaxAttempts.
+	faults, err := faultfs.Parse("fail:lease:1,fail:lease:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := newWorker(t, t.TempDir(), t.TempDir(), "w1", faults)
+
+	rep, stats, err := Run(context.Background(), parseTemplate(t, oneCellTemplate), Config{
+		Workers:     []string{w1.ts.URL},
+		LeaseTTL:    time.Second,
+		MaxAttempts: 2,
+		Retry:       fastRetry(),
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary.Errors != 1 || rep.Summary.Done != 0 {
+		t.Fatalf("summary = %+v", rep.Summary)
+	}
+	cell := rep.Cells[0]
+	if cell.Status != sweep.StatusError || !strings.Contains(cell.Err, "circuit breaker open after 2 failed dispatches") {
+		t.Fatalf("cell = %+v", cell)
+	}
+	if stats.BreakerTrips != 1 || stats.Retries != 1 || stats.Dispatched != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestRunSurvivesTransientLeaseFault(t *testing.T) {
+	// One one-shot lease fault with the breaker budget above it: the cell
+	// must retry through the 500 and still solve.
+	faults, err := faultfs.Parse("fail:lease:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := newWorker(t, t.TempDir(), t.TempDir(), "w1", faults)
+
+	rep, stats, err := Run(context.Background(), parseTemplate(t, oneCellTemplate), Config{
+		Workers:  []string{w1.ts.URL},
+		LeaseTTL: time.Second,
+		Retry:    fastRetry(),
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary.Done != 1 || rep.Summary.Errors != 0 {
+		t.Fatalf("summary = %+v", rep.Summary)
+	}
+	if rep.Cells[0].Attempt != 2 || stats.Retries != 1 {
+		t.Fatalf("cell attempt = %d, stats = %+v: want the second dispatch to win", rep.Cells[0].Attempt, stats)
+	}
+}
+
+func TestRunAllWorkersDead(t *testing.T) {
+	dead := httptest.NewServer(nil)
+	url := dead.URL
+	dead.Close()
+
+	rep, stats, err := Run(context.Background(), parseTemplate(t, oneCellTemplate), Config{
+		Workers:  []string{url},
+		LeaseTTL: time.Second,
+		Retry:    fastRetry(),
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary.Errors != 1 {
+		t.Fatalf("summary = %+v", rep.Summary)
+	}
+	if !strings.Contains(rep.Cells[0].Err, "all workers dead") {
+		t.Fatalf("cell error = %q", rep.Cells[0].Err)
+	}
+	if stats.DeadWorkers != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestRunRejectsEmptyFleet(t *testing.T) {
+	_, _, err := Run(context.Background(), parseTemplate(t, oneCellTemplate), Config{})
+	if err == nil || !strings.Contains(err.Error(), "no workers") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWorkerPoolSkipsDead(t *testing.T) {
+	p := newWorkerPool([]string{"a", "b", "c"})
+	got := []string{}
+	for i := 0; i < 3; i++ {
+		u, ok := p.pick()
+		if !ok {
+			t.Fatal("pool empty too early")
+		}
+		got = append(got, u)
+	}
+	if fmt.Sprint(got) != "[a b c]" {
+		t.Fatalf("round robin = %v", got)
+	}
+	if !p.markDead("b") || p.markDead("b") {
+		t.Fatal("markDead should report only the first death")
+	}
+	for i := 0; i < 4; i++ {
+		if u, ok := p.pick(); !ok || u == "b" {
+			t.Fatalf("pick = %q, %v after b died", u, ok)
+		}
+	}
+	p.markDead("a")
+	p.markDead("c")
+	if u, ok := p.pick(); ok {
+		t.Fatalf("pick = %q on an all-dead pool", u)
+	}
+}

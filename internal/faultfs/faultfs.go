@@ -1,0 +1,233 @@
+// Package faultfs is the deterministic fault-injection seam behind the
+// multi-worker chaos tests: a replayable Schedule of rules that fail the
+// Nth durable write, stall the Nth progress point, or drop the Nth HTTP
+// response — so every coordinator/worker failure mode (lease write lost,
+// worker frozen mid-cell, response lost after the work was done) is
+// reproducible in-process and in CI without real crashes or timing luck.
+//
+// A schedule is a comma-separated list of rules:
+//
+//	fail:<op>:<n>    the n-th Hit of <op> returns ErrInjected
+//	stall:<op>:<n>   the n-th Hit of <op> blocks until ReleaseStalls
+//	                 (or, in the chaos E2E, until the process is killed)
+//	drop:<op>:<n>    the n-th response through Transport(<op>, …) is
+//	                 discarded and replaced by ErrInjected
+//
+// n is either a decimal (the exact occurrence) or `s<seed>r<lo>-<hi>`,
+// which derives the occurrence deterministically from the seed — the same
+// seed always yields the same schedule, so a seeded chaos run replays
+// bit-identically.
+//
+// Counting is per (op, scope): callers pass a scope (a cell name, a path,
+// "") so rules like "the 3rd analysed horizon of whichever cell first
+// gets that far" are expressible without the schedule knowing cell names
+// up front. Each rule fires at most once. A nil *Schedule is inert, so
+// production code calls the seam unconditionally.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ErrInjected is the error every injected fault surfaces as.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// Rule kinds.
+const (
+	KindFail  = "fail"
+	KindStall = "stall"
+	KindDrop  = "drop"
+)
+
+type rule struct {
+	kind  string
+	op    string
+	n     int
+	fired bool
+}
+
+// Schedule is a parsed, concurrency-safe fault schedule.
+type Schedule struct {
+	mu       sync.Mutex
+	rules    []*rule
+	counts   map[string]int // op "\x00" scope → occurrences seen
+	released chan struct{}  // closed by ReleaseStalls
+}
+
+// Parse builds a Schedule from its textual form (see the package
+// comment). An empty spec yields an inert (but non-nil) schedule.
+func Parse(spec string) (*Schedule, error) {
+	s := &Schedule{counts: make(map[string]int), released: make(chan struct{})}
+	if strings.TrimSpace(spec) == "" {
+		return s, nil
+	}
+	for _, entry := range strings.Split(spec, ",") {
+		parts := strings.Split(strings.TrimSpace(entry), ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("faultfs: rule %q: want kind:op:n", entry)
+		}
+		kind, op, nspec := parts[0], parts[1], parts[2]
+		switch kind {
+		case KindFail, KindStall, KindDrop:
+		default:
+			return nil, fmt.Errorf("faultfs: rule %q: unknown kind %q (want fail, stall or drop)", entry, kind)
+		}
+		if op == "" {
+			return nil, fmt.Errorf("faultfs: rule %q: empty op", entry)
+		}
+		n, err := parseN(nspec)
+		if err != nil {
+			return nil, fmt.Errorf("faultfs: rule %q: %w", entry, err)
+		}
+		s.rules = append(s.rules, &rule{kind: kind, op: op, n: n})
+	}
+	return s, nil
+}
+
+// parseN resolves an occurrence spec: a plain decimal, or the seeded form
+// `s<seed>r<lo>-<hi>` drawing n uniformly (and deterministically) from
+// [lo, hi].
+func parseN(spec string) (int, error) {
+	if strings.HasPrefix(spec, "s") {
+		rest := spec[1:]
+		seedStr, rng, ok := strings.Cut(rest, "r")
+		if !ok {
+			return 0, fmt.Errorf("occurrence %q: seeded form is s<seed>r<lo>-<hi>", spec)
+		}
+		seed, err := strconv.ParseInt(seedStr, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("occurrence %q: bad seed: %v", spec, err)
+		}
+		loStr, hiStr, ok := strings.Cut(rng, "-")
+		if !ok {
+			return 0, fmt.Errorf("occurrence %q: seeded form is s<seed>r<lo>-<hi>", spec)
+		}
+		lo, err1 := strconv.Atoi(loStr)
+		hi, err2 := strconv.Atoi(hiStr)
+		if err1 != nil || err2 != nil || lo < 1 || hi < lo {
+			return 0, fmt.Errorf("occurrence %q: bad range", spec)
+		}
+		return lo + rand.New(rand.NewSource(seed)).Intn(hi-lo+1), nil
+	}
+	n, err := strconv.Atoi(spec)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("occurrence %q: want a positive decimal or s<seed>r<lo>-<hi>", spec)
+	}
+	return n, nil
+}
+
+// Hit records one occurrence of op under the given scope and applies the
+// first matching unfired fail/stall rule: a fail rule returns ErrInjected;
+// a stall rule logs and blocks until ReleaseStalls (or process death). A
+// nil schedule never fires.
+func (s *Schedule) Hit(op, scope string) error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	s.counts[op+"\x00"+scope]++
+	n := s.counts[op+"\x00"+scope]
+	var match *rule
+	for _, r := range s.rules {
+		if !r.fired && r.op == op && r.n == n && (r.kind == KindFail || r.kind == KindStall) {
+			r.fired = true
+			match = r
+			break
+		}
+	}
+	s.mu.Unlock()
+	if match == nil {
+		return nil
+	}
+	log.Printf("faultfs: %s at %s #%d (scope %q)", match.kind, op, n, scope)
+	if match.kind == KindFail {
+		return fmt.Errorf("%w: %s at %s #%d", ErrInjected, match.kind, op, n)
+	}
+	<-s.released
+	return nil
+}
+
+// ReleaseStalls unblocks every current and future stall. Tests use it to
+// reclaim stalled goroutines; the chaos E2E instead kills the process.
+func (s *Schedule) ReleaseStalls() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	select {
+	case <-s.released:
+	default:
+		close(s.released)
+	}
+	s.mu.Unlock()
+}
+
+// WrapWrite wraps an atomic-write function (the fsx.AtomicWrite shape) so
+// each call first passes through Hit(op, "") — the scheduled occurrence
+// fails before any byte is written, exactly like a full disk or a crash
+// before the temp file exists. A nil schedule returns w unchanged.
+func (s *Schedule) WrapWrite(op string, w func(path string, data []byte, perm os.FileMode) error) func(path string, data []byte, perm os.FileMode) error {
+	if s == nil {
+		return w
+	}
+	return func(path string, data []byte, perm os.FileMode) error {
+		if err := s.Hit(op, ""); err != nil {
+			return err
+		}
+		return w(path, data, perm)
+	}
+}
+
+// Transport wraps an http.RoundTripper so the scheduled drop-rule
+// occurrence discards the (already received) response and surfaces
+// ErrInjected — the "work done, answer lost" failure mode retried
+// requests must be idempotent against. A nil schedule and a nil base
+// compose sanely (base nil falls back to http.DefaultTransport).
+func (s *Schedule) Transport(op string, base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if s == nil {
+		return base
+	}
+	return &dropTransport{sched: s, op: op, base: base}
+}
+
+type dropTransport struct {
+	sched *Schedule
+	op    string
+	base  http.RoundTripper
+}
+
+func (t *dropTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return resp, err
+	}
+	t.sched.mu.Lock()
+	t.sched.counts[t.op+"\x00"]++
+	n := t.sched.counts[t.op+"\x00"]
+	var match *rule
+	for _, r := range t.sched.rules {
+		if !r.fired && r.op == t.op && r.n == n && r.kind == KindDrop {
+			r.fired = true
+			match = r
+			break
+		}
+	}
+	t.sched.mu.Unlock()
+	if match == nil {
+		return resp, nil
+	}
+	log.Printf("faultfs: drop at %s #%d", t.op, n)
+	resp.Body.Close()
+	return nil, fmt.Errorf("%w: drop at %s #%d", ErrInjected, t.op, n)
+}

@@ -1,0 +1,193 @@
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+)
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, spec := range []string{
+		"fail:lease",          // missing n
+		"boom:lease:1",        // unknown kind
+		"fail::2",             // empty op
+		"fail:lease:0",        // n must be ≥ 1
+		"fail:lease:x",        // non-numeric n
+		"fail:lease:s5",       // seeded form missing range
+		"fail:lease:s5r9-2",   // inverted range
+		"stall:h:1,,fail:l:1", // empty entry
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted a malformed spec", spec)
+		}
+	}
+}
+
+func TestParseEmptyIsInert(t *testing.T) {
+	s, err := Parse("  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Hit("lease", ""); err != nil {
+			t.Fatalf("inert schedule fired: %v", err)
+		}
+	}
+}
+
+func TestNilScheduleIsInert(t *testing.T) {
+	var s *Schedule
+	if err := s.Hit("lease", "x"); err != nil {
+		t.Fatalf("nil Hit = %v", err)
+	}
+	s.ReleaseStalls()
+	w := s.WrapWrite("lease", func(string, []byte, os.FileMode) error { return nil })
+	if err := w("p", nil, 0o644); err != nil {
+		t.Fatalf("nil WrapWrite = %v", err)
+	}
+	if rt := s.Transport("claim", nil); rt != http.DefaultTransport {
+		t.Fatal("nil Transport should return the base transport")
+	}
+}
+
+func TestFailNthOccurrenceOncePerScope(t *testing.T) {
+	s, err := Parse("fail:lease:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Hit("lease", "a"); err != nil {
+		t.Fatalf("occurrence 1 fired: %v", err)
+	}
+	if err := s.Hit("other", "a"); err != nil {
+		t.Fatalf("different op fired: %v", err)
+	}
+	if err := s.Hit("lease", "a"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("occurrence 2 = %v, want ErrInjected", err)
+	}
+	// Rule fires at most once, even though scope "b" also reaches count 2.
+	s.Hit("lease", "b")
+	if err := s.Hit("lease", "b"); err != nil {
+		t.Fatalf("already-fired rule fired again: %v", err)
+	}
+	if err := s.Hit("lease", "a"); err != nil {
+		t.Fatalf("occurrence 3 fired: %v", err)
+	}
+}
+
+func TestScopesCountIndependently(t *testing.T) {
+	s, err := Parse("fail:horizon:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave two scopes; the rule must fire when ONE scope reaches 3,
+	// not when the global count does.
+	s.Hit("horizon", "cellA")
+	s.Hit("horizon", "cellB")
+	s.Hit("horizon", "cellA")
+	if err := s.Hit("horizon", "cellB"); err != nil {
+		t.Fatalf("cellB at occurrence 2 fired: %v", err)
+	}
+	if err := s.Hit("horizon", "cellA"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("cellA at occurrence 3 = %v, want ErrInjected", err)
+	}
+}
+
+func TestStallBlocksUntilReleased(t *testing.T) {
+	s, err := Parse("stall:horizon:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.Hit("horizon", "c")
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("stall did not block")
+	case <-time.After(20 * time.Millisecond):
+	}
+	s.ReleaseStalls()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("ReleaseStalls did not unblock the stall")
+	}
+	// Idempotent.
+	s.ReleaseStalls()
+}
+
+func TestSeededNIsDeterministic(t *testing.T) {
+	a, err := parseN("s42r2-9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := parseN("s42r2-9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed produced %d then %d", a, b)
+	}
+	if a < 2 || a > 9 {
+		t.Fatalf("seeded n %d outside range [2,9]", a)
+	}
+}
+
+func TestWrapWrite(t *testing.T) {
+	s, err := Parse("fail:lease:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var writes int
+	w := s.WrapWrite("lease", func(string, []byte, os.FileMode) error {
+		writes++
+		return nil
+	})
+	if err := w("p", []byte("x"), 0o644); err != nil {
+		t.Fatalf("write 1 = %v", err)
+	}
+	if err := w("p", []byte("x"), 0o644); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write 2 = %v, want ErrInjected", err)
+	}
+	if err := w("p", []byte("x"), 0o644); err != nil {
+		t.Fatalf("write 3 = %v", err)
+	}
+	if writes != 2 {
+		t.Fatalf("underlying write ran %d times, want 2 (the injected failure must precede the write)", writes)
+	}
+}
+
+func TestTransportDropsNthResponse(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	s, err := Parse("drop:claim:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Transport: s.Transport("claim", nil)}
+	for i, wantErr := range []bool{false, true, false} {
+		resp, err := client.Get(srv.URL)
+		if wantErr {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("request %d = %v, want ErrInjected", i+1, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("request %d = %v", i+1, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if string(body) != "ok" {
+			t.Fatalf("request %d body %q", i+1, body)
+		}
+	}
+}

@@ -14,6 +14,7 @@ var durablePkgs = map[string]bool{
 	"pager": true,
 	"ckpt":  true,
 	"svc":   true,
+	"coord": true,
 }
 
 // AtomicWrite flags direct file-creation calls in the durable packages.

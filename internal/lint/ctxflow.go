@@ -8,11 +8,14 @@ import (
 // ctxPkgs names the packages whose exported entry points drive long
 // (frontier/cell/job) loops and therefore must thread cancellation.
 var ctxPkgs = map[string]bool{
-	"topo":  true,
-	"check": true,
-	"sweep": true,
-	"svc":   true,
-	"ckpt":  true,
+	"topo":    true,
+	"check":   true,
+	"sweep":   true,
+	"svc":     true,
+	"ckpt":    true,
+	"coord":   true,
+	"retry":   true,
+	"faultfs": true,
 }
 
 // CtxFlow enforces the context-threading invariant with two checks:

@@ -1,0 +1,137 @@
+// Package retry is the repo's one implementation of capped exponential
+// backoff with full jitter. Every place that re-attempts a fallible
+// operation against a possibly-overloaded or crashed peer — topoconload's
+// 429-retrying submissions, the sweep coordinator's cell re-dispatch —
+// derives its delays from a Policy here, so the retry behaviour is
+// uniform, context-aware, and testable with a seeded jitter source.
+//
+// Full jitter (delay drawn uniformly from [0, cappedExponential]) is the
+// AWS-architecture-blog variant: under contention it spreads retries over
+// the whole window instead of synchronizing clients into waves, which is
+// exactly the failure mode a fleet of workers hammering one coordinator
+// (or one recovering worker) would otherwise produce.
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Policy describes a capped exponential backoff schedule. The zero value
+// is usable: 100ms base, 5s cap, factor 2, unlimited attempts.
+type Policy struct {
+	// Base is the pre-jitter delay after the first failure (≤ 0: 100ms).
+	Base time.Duration
+	// Max caps the pre-jitter delay (≤ 0: 5s).
+	Max time.Duration
+	// Factor is the per-attempt growth multiplier (< 1: 2).
+	Factor float64
+	// Attempts bounds the total number of calls Do makes, including the
+	// first (≤ 0: unlimited).
+	Attempts int
+	// Rand, when set, is the jitter source — inject a seeded source for
+	// deterministic tests. Nil uses the process-global source.
+	Rand *rand.Rand
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.Base <= 0 {
+		p.Base = 100 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 5 * time.Second
+	}
+	if p.Factor < 1 {
+		p.Factor = 2
+	}
+	return p
+}
+
+// Delay returns the jittered delay to sleep after the attempt-th failure
+// (1-based): a duration drawn uniformly from [0, min(Max, Base·Factor^(attempt-1))].
+func (p Policy) Delay(attempt int) time.Duration {
+	p = p.withDefaults()
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := float64(p.Base)
+	for i := 1; i < attempt; i++ {
+		d *= p.Factor
+		if d >= float64(p.Max) {
+			break
+		}
+	}
+	if d > float64(p.Max) {
+		d = float64(p.Max)
+	}
+	n := int64(d)
+	if n <= 0 {
+		return 0
+	}
+	if p.Rand != nil {
+		return time.Duration(p.Rand.Int63n(n + 1))
+	}
+	return time.Duration(rand.Int63n(n + 1))
+}
+
+// permanentError marks an error Do must not retry.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps an error to tell Do that retrying cannot help — a 4xx
+// response, a validation failure, a closed service. Do returns the
+// original (unwrapped) error immediately.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// Do calls fn until it succeeds, returns a Permanent error, the context
+// is cancelled, or the policy's attempt budget is spent — sleeping the
+// policy's jittered delay between attempts. The returned error is fn's
+// last error (unwrapped for Permanent ones); on cancellation mid-sleep it
+// is joined with the context's error so callers can classify either way.
+func Do(ctx context.Context, p Policy, fn func(context.Context) error) error {
+	p = p.withDefaults()
+	for attempt := 1; ; attempt++ {
+		err := fn(ctx)
+		if err == nil {
+			return nil
+		}
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+		if p.Attempts > 0 && attempt >= p.Attempts {
+			return fmt.Errorf("retry: %d attempts: %w", attempt, err)
+		}
+		if serr := Sleep(ctx, p.Delay(attempt)); serr != nil {
+			return errors.Join(serr, err)
+		}
+	}
+}
+
+// Sleep blocks for d or until the context is cancelled, whichever comes
+// first, returning the context's error in the latter case. It is the
+// context-aware sleep every retry loop in the repo should use instead of
+// time.Sleep.
+func Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

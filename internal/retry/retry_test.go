@@ -1,0 +1,129 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestDelayCappedExponential(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Max: 1 * time.Second, Factor: 2,
+		Rand: rand.New(rand.NewSource(1))}
+	// Pre-jitter ceilings: 100ms, 200ms, 400ms, 800ms, 1s, 1s, ...
+	ceil := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, time.Second, time.Second, time.Second,
+	}
+	for attempt := 1; attempt <= len(ceil); attempt++ {
+		for trial := 0; trial < 50; trial++ {
+			d := p.Delay(attempt)
+			if d < 0 || d > ceil[attempt-1] {
+				t.Fatalf("Delay(%d) = %v, want within [0, %v]", attempt, d, ceil[attempt-1])
+			}
+		}
+	}
+}
+
+func TestDelayFullJitterSpreads(t *testing.T) {
+	p := Policy{Base: time.Second, Max: time.Second, Rand: rand.New(rand.NewSource(7))}
+	lo, hi := false, false
+	for i := 0; i < 200; i++ {
+		d := p.Delay(1)
+		if d < 250*time.Millisecond {
+			lo = true
+		}
+		if d > 750*time.Millisecond {
+			hi = true
+		}
+	}
+	if !lo || !hi {
+		t.Fatalf("200 jittered delays never reached both quartiles (lo=%v hi=%v): not full jitter", lo, hi)
+	}
+}
+
+func TestDelayZeroValuePolicy(t *testing.T) {
+	var p Policy
+	if d := p.Delay(3); d < 0 || d > 5*time.Second {
+		t.Fatalf("zero-value policy Delay(3) = %v, want within [0, 5s]", d)
+	}
+}
+
+func TestDoRetriesThenSucceeds(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), Policy{Base: time.Microsecond, Max: time.Microsecond}, func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("Do = %v after %d calls, want success on the 3rd", err, calls)
+	}
+}
+
+func TestDoPermanentStopsImmediately(t *testing.T) {
+	sentinel := errors.New("bad request")
+	calls := 0
+	err := Do(context.Background(), Policy{Base: time.Microsecond}, func(context.Context) error {
+		calls++
+		return Permanent(sentinel)
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Do = %v, want the permanent error unwrapped", err)
+	}
+	if calls != 1 {
+		t.Fatalf("permanent error retried: %d calls", calls)
+	}
+}
+
+func TestDoAttemptsExhausted(t *testing.T) {
+	sentinel := errors.New("still down")
+	calls := 0
+	err := Do(context.Background(), Policy{Base: time.Microsecond, Max: time.Microsecond, Attempts: 4},
+		func(context.Context) error { calls++; return sentinel })
+	if calls != 4 {
+		t.Fatalf("Attempts=4 made %d calls", calls)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("exhausted Do = %v, want it to wrap the last error", err)
+	}
+}
+
+func TestDoCancelledMidSleep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	done := make(chan error, 1)
+	go func() {
+		done <- Do(ctx, Policy{Base: time.Hour, Max: time.Hour}, func(context.Context) error {
+			calls++
+			return errors.New("transient")
+		})
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled Do = %v, want context.Canceled in the chain", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do did not return after cancellation")
+	}
+	if calls != 1 {
+		t.Fatalf("expected exactly one call before the hour-long sleep, got %d", calls)
+	}
+}
+
+func TestSleepCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Sleep(ctx, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sleep on dead context = %v", err)
+	}
+	if err := Sleep(context.Background(), 0); err != nil {
+		t.Fatalf("Sleep(0) = %v", err)
+	}
+}

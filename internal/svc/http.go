@@ -22,6 +22,9 @@ var (
 //	GET  /v1/jobs/{id}       job status, with the report once finished
 //	GET  /v1/jobs/{id}/events  progress stream (SSE; ?format=ndjson for lines)
 //	GET  /v1/verdicts/{key}  look up one verdict by canonical sweep key
+//	POST /v1/cells/{key}/claim    claim + solve one cell under a lease
+//	                              (coordinated worker mode only)
+//	POST /v1/cells/{key}/release  cancel a claim / release a held lease
 //	GET  /healthz            liveness (503 while shutting down)
 //	GET  /metrics            jobs / sessions / cache / store counters, JSON
 func (s *Service) Handler() http.Handler {
@@ -31,6 +34,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/verdicts/{key}", s.handleVerdict)
+	mux.HandleFunc("POST /v1/cells/{key}/claim", s.handleClaim)
+	mux.HandleFunc("POST /v1/cells/{key}/release", s.handleRelease)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"topocon/internal/check"
+	"topocon/internal/faultfs"
 	"topocon/internal/fsx"
 	"topocon/internal/scenario"
 	"topocon/internal/store"
@@ -68,6 +69,24 @@ type Config struct {
 	// PagerHotBytes is each checkpointed cell's pager hot-set budget
 	// (≤ 0: unlimited). Only meaningful with CheckpointDir.
 	PagerHotBytes int64
+	// WorkerID identifies this daemon in a coordinated multi-worker fleet
+	// sharing one StoreDir + CheckpointDir. When set (with CheckpointDir),
+	// cell checkpoints move to CheckpointDir/cells/<WorkerID> and job
+	// documents to CheckpointDir/jobs/<WorkerID> so workers never collide,
+	// cell leases are kept under CheckpointDir/leases, and the
+	// /v1/cells/{key}/claim + release endpoints come alive. Empty keeps the
+	// legacy single-worker layout.
+	WorkerID string
+	// LeaseTTL is the worker's cell-lease duration (≤ 0: 30s); claims renew
+	// their lease every LeaseTTL/3 and self-fence — cancel the solve — if a
+	// renewal fails, so a worker that cannot prove liveness stops burning
+	// a cell someone else may already own.
+	LeaseTTL time.Duration
+	// Faults is the deterministic fault-injection schedule (nil: none).
+	// It is threaded through lease writes (op "lease") and per-horizon
+	// progress (op "horizon", scoped by cell name), so chaos tests can
+	// fail the Nth lease write or freeze a worker at the Nth horizon.
+	Faults *faultfs.Schedule
 }
 
 func (c Config) withDefaults() Config {
@@ -82,6 +101,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxJobsRetained <= 0 {
 		c.MaxJobsRetained = 512
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 30 * time.Second
 	}
 	return c
 }
@@ -237,13 +259,15 @@ func (j *job) view() JobView {
 	return v
 }
 
-// Service is the daemon: store, tiered cache, session pool, job queue.
+// Service is the daemon: store, tiered cache, session pool, job queue,
+// and — in coordinated worker mode — the cell-claim surface.
 type Service struct {
-	cfg   Config
-	store *store.Store // nil when StoreDir is empty
-	cache *sweep.Cache
-	slots chan struct{}
-	queue chan *job
+	cfg    Config
+	store  *store.Store  // nil when StoreDir is empty
+	leases *store.Leases // nil outside coordinated worker mode
+	cache  *sweep.Cache
+	slots  chan struct{}
+	queue  chan *job
 
 	rootCtx context.Context
 	cancel  context.CancelFunc
@@ -255,11 +279,18 @@ type Service struct {
 	order   []string // submission order, for eviction and listing
 	nextID  int
 
+	// claims tracks in-flight cell claims by canonical key, so duplicate
+	// claims are refused and drain/release can cancel the solves.
+	claimsMu sync.Mutex
+	claims   map[string]context.CancelFunc
+
 	analyzersBuilt atomic.Int64
 	jobsSubmitted  atomic.Int64
 	jobsRejected   atomic.Int64
 	jobsResumed    atomic.Int64
 	persistErrors  atomic.Int64
+	leasesStolen   atomic.Int64
+	cellRetries    atomic.Int64
 
 	pagingMu sync.Mutex
 	paging   sweep.PagingSummary // cumulative across finished jobs
@@ -272,10 +303,11 @@ type Service struct {
 func New(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
 	s := &Service{
-		cfg:   cfg,
-		slots: make(chan struct{}, cfg.Workers),
-		queue: make(chan *job, cfg.MaxQueue),
-		jobs:  make(map[string]*job),
+		cfg:    cfg,
+		slots:  make(chan struct{}, cfg.Workers),
+		queue:  make(chan *job, cfg.MaxQueue),
+		jobs:   make(map[string]*job),
+		claims: make(map[string]context.CancelFunc),
 	}
 	if cfg.StoreDir != "" {
 		st, err := store.Open(cfg.StoreDir)
@@ -286,6 +318,16 @@ func New(cfg Config) (*Service, error) {
 		s.cache = sweep.NewTieredCache(st)
 	} else {
 		s.cache = sweep.NewCache()
+	}
+	if cfg.WorkerID != "" && cfg.CheckpointDir != "" {
+		// Lease writes go through the fault seam so chaos tests can fail
+		// the Nth one; a nil schedule wraps to the plain atomic write.
+		ls, err := store.OpenLeases(filepath.Join(cfg.CheckpointDir, "leases"),
+			cfg.Faults.WrapWrite("lease", fsx.AtomicWrite))
+		if err != nil {
+			return nil, err
+		}
+		s.leases = ls
 	}
 	s.rootCtx, s.cancel = context.WithCancel(context.Background())
 	for w := 0; w < cfg.Workers; w++ {
@@ -342,7 +384,23 @@ func (s *Service) submit(j *job) error {
 // jobDocExt names persisted job documents: <id>.job under jobsDir.
 const jobDocExt = ".job"
 
-func (s *Service) jobsDir() string { return filepath.Join(s.cfg.CheckpointDir, "jobs") }
+// jobsDir and cellsDir are per-worker in coordinated mode: a fleet
+// shares one CheckpointDir, so each worker's in-flight state gets its own
+// namespace — which is exactly what makes a dead worker's cell
+// checkpoints addressable for adoption (cells/<deadWorker>/<cell sha>).
+func (s *Service) jobsDir() string {
+	if s.cfg.WorkerID != "" {
+		return filepath.Join(s.cfg.CheckpointDir, "jobs", s.cfg.WorkerID)
+	}
+	return filepath.Join(s.cfg.CheckpointDir, "jobs")
+}
+
+func (s *Service) cellsDir() string {
+	if s.cfg.WorkerID != "" {
+		return filepath.Join(s.cfg.CheckpointDir, "cells", s.cfg.WorkerID)
+	}
+	return filepath.Join(s.cfg.CheckpointDir, "cells")
+}
 
 // persistJob writes the job's raw submission document under the checkpoint
 // dir (atomically, via fsx.AtomicWrite) so a restarted daemon can
@@ -501,7 +559,7 @@ func (s *Service) runJob(j *job) {
 	if s.cfg.CheckpointDir != "" {
 		// Cell checkpoints are content-addressed by sweep key, so one cells/
 		// dir is safely shared by every job, past and concurrent.
-		cfg.CheckpointDir = filepath.Join(s.cfg.CheckpointDir, "cells")
+		cfg.CheckpointDir = s.cellsDir()
 		cfg.CheckpointEvery = s.cfg.CheckpointEvery
 		cfg.PagerHotBytes = s.cfg.PagerHotBytes
 	}
@@ -564,6 +622,11 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	}
 	s.mu.Unlock()
 	s.cancel()
+	// Claims abort with the root context; cancelClaims additionally covers
+	// claims whose AfterFunc registration raced the cancel. Each aborted
+	// claim releases its lease on the way out (the drain contract: a
+	// SIGTERMed worker leaves released leases, never abandoned ones).
+	s.cancelClaims()
 	if already {
 		return nil
 	}
@@ -605,6 +668,20 @@ type Metrics struct {
 	Store    *store.Stats   `json:"store,omitempty"`
 	// Paging is present whenever the daemon runs with a CheckpointDir.
 	Paging *PagingMetrics `json:"paging,omitempty"`
+	// Leases is present in coordinated worker mode (WorkerID set).
+	Leases *LeaseMetrics `json:"leases,omitempty"`
+}
+
+// LeaseMetrics is the coordinated-worker gauge set: leasesHeld is the
+// number of cells this worker is solving under a live lease right now;
+// leasesStolen counts expired leases this worker took over from dead
+// peers; cellRetries counts claims that arrived as re-dispatches
+// (attempt > 1). Traffic carries the lease store's cumulative counters.
+type LeaseMetrics struct {
+	Held        int              `json:"leasesHeld"`
+	Stolen      int64            `json:"leasesStolen"`
+	CellRetries int64            `json:"cellRetries"`
+	Traffic     store.LeaseStats `json:"traffic"`
 }
 
 // JobMetrics counts jobs by lifecycle state.
@@ -697,6 +774,17 @@ func (s *Service) Metrics() Metrics {
 		}
 		s.pagingMu.Unlock()
 		m.Paging = &pm
+	}
+	if s.leases != nil {
+		s.claimsMu.Lock()
+		held := len(s.claims)
+		s.claimsMu.Unlock()
+		m.Leases = &LeaseMetrics{
+			Held:        held,
+			Stolen:      s.leasesStolen.Load(),
+			CellRetries: s.cellRetries.Load(),
+			Traffic:     s.leases.Stats(),
+		}
 	}
 	return m
 }

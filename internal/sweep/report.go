@@ -40,6 +40,15 @@ type CellResult struct {
 	// Resumed reports that this cell's session was resumed from a
 	// checkpoint left by an earlier killed run (Config.CheckpointDir).
 	Resumed bool `json:"resumed,omitempty"`
+	// Worker, Attempt and StolenFrom attribute the cell in coordinated
+	// multi-worker sweeps: Worker identifies the topoconsvc instance that
+	// produced the result, Attempt is the coordinator's 1-based dispatch
+	// attempt, and StolenFrom names the dead worker whose lease (and
+	// checkpoint) this attempt took over. All empty/zero in single-process
+	// sweeps.
+	Worker     string `json:"worker,omitempty"`
+	Attempt    int    `json:"attempt,omitempty"`
+	StolenFrom string `json:"stolenFrom,omitempty"`
 	// WallMillis is this cell's wall-clock cost (≈ 0 for cache hits).
 	WallMillis float64 `json:"wallMillis"`
 	// Notes carries checker anomalies; Err the failure for Status error.
@@ -103,6 +112,23 @@ type Report struct {
 	Cells []CellResult `json:"cells"`
 	// Summary aggregates the cells.
 	Summary Summary `json:"summary"`
+}
+
+// Summarize aggregates externally-produced cell results — the
+// coordinator's merged multi-worker reports. With no cache to consult,
+// DistinctKeys is the number of distinct cell fingerprints.
+//
+//topocon:export
+func Summarize(cells []CellResult) Summary {
+	s := summarize(cells, nil)
+	fps := make(map[string]struct{}, len(cells))
+	for i := range cells {
+		if fp := cells[i].Fingerprint; fp != "" {
+			fps[fp] = struct{}{}
+		}
+	}
+	s.DistinctKeys = len(fps)
+	return s
 }
 
 func summarize(cells []CellResult, cache *Cache) Summary {

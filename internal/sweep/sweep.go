@@ -388,6 +388,14 @@ func cellDirName(key Key) string {
 	return hex.EncodeToString(sum[:])
 }
 
+// CellDir is the exported content address of a cell's key — the
+// checkpoint subdirectory name and the basename lease/verdict records
+// derive from. Coordinators use it to locate a dead worker's checkpoint
+// for adoption.
+//
+//topocon:export
+func CellDir(key Key) string { return cellDirName(key) }
+
 func millis(d time.Duration) float64 {
 	return float64(d.Microseconds()) / 1000
 }

@@ -51,6 +51,7 @@ import (
 	"topocon/internal/baseline"
 	"topocon/internal/check"
 	"topocon/internal/ckpt"
+	"topocon/internal/coord"
 	"topocon/internal/graph"
 	"topocon/internal/lasso"
 	"topocon/internal/ma"
@@ -295,6 +296,61 @@ const (
 
 // SweepKeyEncodingVersion is the canonical key encoding's version tag.
 const SweepKeyEncodingVersion = sweep.KeyEncodingVersion
+
+// Coordinated multi-worker sweeps: durable cell leases, checkpoint
+// adoption, and the fleet coordinator (see internal/coord and
+// cmd/topoconcoord).
+type (
+	// CoordConfig tunes a coordinated sweep run: fleet URLs, lease TTL,
+	// per-cell circuit-breaker budget, dispatch concurrency and backoff.
+	CoordConfig = coord.Config
+	// CoordStats counts a coordinated run's dispatch traffic — retries,
+	// steals, breaker trips, dead workers.
+	CoordStats = coord.Stats
+	// CellLease is one durable per-cell lease record in a fleet's shared
+	// checkpoint directory.
+	CellLease = store.Lease
+	// CellLeases manages a content-addressed lease directory (one
+	// checksummed record per SweepKey; see OpenLeases).
+	CellLeases = store.Leases
+	// CellLeaseStats counts a lease directory's acquire/renew/release and
+	// quarantine traffic.
+	CellLeaseStats = store.LeaseStats
+)
+
+var (
+	// CoordinateSweep expands a template grid once and dispatches its
+	// cells across a fleet of topoconsvc workers; dead workers' cells are
+	// stolen through expired leases and adopted checkpoints, and the
+	// merged report comes back in grid order, as if one process had run
+	// the sweep.
+	CoordinateSweep = coord.Run
+	// OpenLeases opens (creating if needed) a shared cell-lease directory.
+	OpenLeases = store.OpenLeases
+	// AdoptCheckpoint moves a dead worker's per-cell checkpoint into a
+	// successor's namespace — validate first, rename with the manifest
+	// last — so the successor resumes with zero horizon re-extension.
+	AdoptCheckpoint = ckpt.Adopt
+	// SummarizeSweepCells aggregates externally-produced cell results,
+	// e.g. a coordinator's merged multi-worker report.
+	SummarizeSweepCells = sweep.Summarize
+	// SweepCellDir is the content-addressed checkpoint subdirectory name
+	// of one cell key.
+	SweepCellDir = sweep.CellDir
+)
+
+// Lease states (CellLease.State) and fencing errors.
+const (
+	LeaseHeld     = store.LeaseHeld
+	LeaseReleased = store.LeaseReleased
+)
+
+var (
+	// ErrLeaseHeld: another holder's lease is still live (retry after its
+	// expiry). ErrLeaseLost: a peer took the cell over; stand down.
+	ErrLeaseHeld = store.ErrLeaseHeld
+	ErrLeaseLost = store.ErrLeaseLost
+)
 
 // Runs, process-time graphs and views.
 type (

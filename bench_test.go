@@ -346,19 +346,20 @@ func BenchmarkExtendColumnar(b *testing.B) {
 }
 
 // BenchmarkExtendPaged measures the BenchmarkAnalyzerIncremental horizon
-// walk with the frontier paged under a small hot-set budget (4 KiB — a
-// fraction of the all-hot horizon-7 frontier): cold rounds spill to page
-// files and fault back on demand, so the delta against the incremental
-// bench is the page-IO overhead of out-of-core extension. Each iteration
-// gets a fresh page directory so spills are never served by files a
-// previous iteration wrote.
+// walk with the frontier paged under a small hot-set budget (2 KiB — a
+// fraction of the all-hot horizon-7 frontier, which the symmetry quotient
+// halves on LossyLink2's order-2 group): cold rounds spill to page files
+// and fault back on demand, so the delta against the incremental bench is
+// the page-IO overhead of out-of-core extension. Each iteration gets a
+// fresh page directory so spills are never served by files a previous
+// iteration wrote.
 func BenchmarkExtendPaged(b *testing.B) {
 	b.ReportAllocs()
 	ctx := context.Background()
 	for i := 0; i < b.N; i++ {
 		pg, err := topocon.NewPager(topocon.PagerConfig{
 			Dir:      b.TempDir(), // fresh per iteration: spills must write, not skip
-			HotBytes: 4 << 10,
+			HotBytes: 2 << 10,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -438,6 +439,73 @@ func BenchmarkRefineVsDecompose(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkExtendQuotient measures the symmetry quotient (DESIGN.md §13)
+// on the lossy-star-4 workload: n=4, the center may drop one spoke per
+// round, so the leaf processes are interchangeable and ma.Automorphisms
+// finds the order-6 S₃ group. The quotient sub-benchmark builds the
+// horizon-7 space with one interned representative per orbit; full builds
+// the unquotiented space. Both report their interned item count as the
+// items/op metric — the quotient's acceptance floor is a ≥3× reduction at
+// identical full-space accounting (FullLen), asserted here so a broken
+// canonicalizer cannot pass as a fast benchmark. Verdict equality across
+// the two modes is pinned separately by check.TestQuotientMatchesFullSpace
+// and the CI differential step.
+func BenchmarkExtendQuotient(b *testing.B) {
+	const starHorizon = 7
+	specs := []string{
+		"2->1, 3->1, 4->1, 1->2, 1->3, 1->4",
+		"2->1, 3->1, 4->1, 1->3, 1->4",
+		"2->1, 3->1, 4->1, 1->2, 1->4",
+		"2->1, 3->1, 4->1, 1->2, 1->3",
+	}
+	set := make([]topocon.Graph, len(specs))
+	for i, spec := range specs {
+		g, err := topocon.ParseGraph(4, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		set[i] = g
+	}
+	star, err := topocon.NewOblivious("lossy-star-4", set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	group := topocon.Automorphisms(star)
+	if group.Order() != 6 {
+		b.Fatalf("lossy-star-4 group order %d, want 6 (S₃ on the leaves)", group.Order())
+	}
+	ctx := context.Background()
+	modes := []struct {
+		name string
+		sym  *topocon.Group
+	}{
+		{"quotient", group},
+		{"full", nil},
+	}
+	for _, mode := range modes {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var items int
+			for i := 0; i < b.N; i++ {
+				s, err := topo.BuildCtx(ctx, star, 2, starHorizon, topo.Config{Symmetry: mode.sym})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if s.FullLen() != 16*16384 {
+					b.Fatalf("full-space accounting %d, want %d", s.FullLen(), 16*16384)
+				}
+				if mode.sym != nil && s.FullLen() < 3*s.Len() {
+					b.Fatalf("quotient interned %d of %d items — reduction under the 3× floor", s.Len(), s.FullLen())
+				}
+				items = s.Len()
+			}
+			b.ReportMetric(float64(items), "items")
+			sinkInt = items
+		})
+	}
 }
 
 var sinkInt int

@@ -75,6 +75,7 @@ func main() {
 		ckptDir      = flag.String("checkpoint-dir", "", "checkpoint/resume directory: the session checkpoints there as it refines and a rerun resumes from the last completed horizon instead of starting over; with -sweep: per-cell checkpoints under it")
 		ckptEvery    = flag.Int("checkpoint-every", 1, "with -checkpoint-dir: checkpoint cadence in horizons")
 		hotBytes     = flag.Int64("pager-hot-bytes", 0, "with -checkpoint-dir: frontier hot-set budget in bytes — colder rounds spill to page files and fault back on demand (0 = unlimited)")
+		noSymmetry   = flag.Bool("no-symmetry", false, "analyse the full prefix space instead of quotienting by the adversary's process automorphisms; verdicts are identical, only interned-run counts differ (differential testing)")
 	)
 	flag.Parse()
 
@@ -84,7 +85,7 @@ func main() {
 	}
 	ckpt := ckptFlags{dir: *ckptDir, every: *ckptEvery, hotBytes: *hotBytes}
 	if *sweepPath != "" {
-		runSweep(*sweepPath, *sweepWorkers, *sweepTimeout, *cacheDir, *out, *validate, *verbose, ckpt)
+		runSweep(*sweepPath, *sweepWorkers, *sweepTimeout, *cacheDir, *out, *validate, *verbose, *noSymmetry, ckpt)
 		return
 	}
 	// -scenario -validate accepts either document kind: a template file is
@@ -92,7 +93,7 @@ func main() {
 	// walkers (CI) need no file classification of their own.
 	if *scen != "" && *validate {
 		if data, err := os.ReadFile(*scen); err == nil && topocon.IsTemplateDoc(data) {
-			runSweep(*scen, *sweepWorkers, *sweepTimeout, *cacheDir, *out, true, *verbose, ckpt)
+			runSweep(*scen, *sweepWorkers, *sweepTimeout, *cacheDir, *out, true, *verbose, *noSymmetry, ckpt)
 			return
 		}
 	}
@@ -101,6 +102,9 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "topocheck:", err)
 		os.Exit(2)
+	}
+	if *noSymmetry {
+		opts.NoSymmetry = true
 	}
 	if *validate {
 		if err := validateWorkload(adv, opts.MaxHorizon); err != nil {
@@ -125,10 +129,10 @@ func main() {
 		topocon.WithRetainSpaces(*retain),
 	}
 	if *verbose {
-		fmt.Println("horizon  runs  components  mixed  broadcastable    elapsed")
+		fmt.Println("horizon    runs  interned  components  mixed  broadcastable    elapsed")
 		anOpts = append(anOpts, topocon.WithProgress(func(r topocon.HorizonReport) {
-			fmt.Printf("%7d  %4d  %10d  %5d  %13v  %9v\n",
-				r.Horizon, r.Runs, r.Components, r.MixedComponents, r.Broadcastable, r.Elapsed)
+			fmt.Printf("%7d  %6d  %8d  %10d  %5d  %13v  %9v\n",
+				r.Horizon, r.Runs, r.InternedRuns, r.Components, r.MixedComponents, r.Broadcastable, r.Elapsed)
 		}))
 	}
 	an, err := topocon.NewAnalyzer(adv, anOpts...)
@@ -167,10 +171,10 @@ type ckptFlags struct {
 func runCheckpointed(ctx context.Context, adv topocon.Adversary, opts topocon.CheckOptions, ck ckptFlags, workers int, verbose bool) {
 	cfg := topocon.CheckpointConfig{Dir: ck.dir, HotBytes: ck.hotBytes, Every: ck.every}
 	if verbose {
-		fmt.Println("horizon  runs  components  mixed  broadcastable    elapsed")
+		fmt.Println("horizon    runs  interned  components  mixed  broadcastable    elapsed")
 		cfg.OnHorizon = func(r topocon.HorizonReport) {
-			fmt.Printf("%7d  %4d  %10d  %5d  %13v  %9v\n",
-				r.Horizon, r.Runs, r.Components, r.MixedComponents, r.Broadcastable, r.Elapsed)
+			fmt.Printf("%7d  %6d  %8d  %10d  %5d  %13v  %9v\n",
+				r.Horizon, r.Runs, r.InternedRuns, r.Components, r.MixedComponents, r.Broadcastable, r.Elapsed)
 		}
 	}
 	res, info, err := topocon.RunCheckpointed(ctx, adv, cfg, opts, workers)
@@ -202,7 +206,7 @@ func runCheckpointed(ctx context.Context, adv topocon.Adversary, opts topocon.Ch
 // with validate, through per-cell contract checking only). Exit status: 2
 // on configuration errors, 1 when any cell errors or contradicts a pinned
 // verdict, 130 on interrupt.
-func runSweep(path string, workers int, timeout time.Duration, cacheDir, out string, validate, verbose bool, ck ckptFlags) {
+func runSweep(path string, workers int, timeout time.Duration, cacheDir, out string, validate, verbose, noSymmetry bool, ck ckptFlags) {
 	tpl, err := topocon.LoadTemplate(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "topocheck:", err)
@@ -231,6 +235,7 @@ func runSweep(path string, workers int, timeout time.Duration, cacheDir, out str
 		CheckpointDir:   ck.dir,
 		CheckpointEvery: ck.every,
 		PagerHotBytes:   ck.hotBytes,
+		NoSymmetry:      noSymmetry,
 	}
 	if cacheDir != "" {
 		st, err := topocon.OpenVerdictStore(cacheDir)

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"topocon/internal/baseline"
+	"topocon/internal/graph"
 	"topocon/internal/ma"
 	"topocon/internal/pager"
 	"topocon/internal/topo"
@@ -35,6 +36,12 @@ type HorizonReport struct {
 	// (compact adversaries only; -1 otherwise).
 	SeparationHorizon int
 	BroadcastHorizon  int
+	// InternedRuns is the number of items actually materialized for this
+	// horizon: Runs under Options.NoSymmetry, and the orbit-representative
+	// count under the symmetry quotient — the observable the quotient
+	// shrinks (DESIGN.md §13). Runs/InternedRuns is the live reduction
+	// factor.
+	InternedRuns int
 	// InternedViews is the cumulative hash-consed view count, a proxy for
 	// session memory.
 	InternedViews int
@@ -83,6 +90,12 @@ func WithLatencySlack(r int) AnalyzerOption {
 // workers (default 1, sequential).
 func WithParallelism(w int) AnalyzerOption {
 	return func(a *Analyzer) { a.parallelism = w }
+}
+
+// WithNoSymmetry disables the automorphism quotient; see
+// Options.NoSymmetry.
+func WithNoSymmetry() AnalyzerOption {
+	return func(a *Analyzer) { a.opts.NoSymmetry = true }
 }
 
 // WithRetainSpaces sets the session's space-retention policy: the k deepest
@@ -147,6 +160,7 @@ type Analyzer struct {
 	spaces   []*topo.Space
 	cur      *topo.Space         // deepest space, never evicted
 	decomp   *topo.Decomposition // decomposition at the deepest horizon
+	sym      *ma.Group           // quotient group, computed at first Step
 	res      *Result
 	finished bool
 }
@@ -253,6 +267,26 @@ func (a *Analyzer) Finished() bool { return a.finished }
 // Pager returns the pager attached with WithPager, or nil.
 func (a *Analyzer) Pager() *pager.Pager { return a.pager }
 
+// symmetry returns the automorphism group the session quotients by — the
+// trivial group under Options.NoSymmetry, ma.Automorphisms(adv)
+// otherwise. Computed once and cached: the group identity must be stable
+// across Step, Snapshot and restore within one session.
+func (a *Analyzer) symmetry() *ma.Group {
+	if a.sym == nil {
+		if a.opts.NoSymmetry {
+			a.sym = ma.TrivialGroup(a.adv.N())
+		} else {
+			a.sym = ma.Automorphisms(a.adv)
+		}
+	}
+	return a.sym
+}
+
+// Symmetry returns the automorphism group the session quotients its
+// prefix spaces by (trivial when NoSymmetry is set or the adversary has
+// no nontrivial automorphisms).
+func (a *Analyzer) Symmetry() *ma.Group { return a.symmetry() }
+
 // Step advances the session by exactly one horizon: it extends the prefix
 // space incrementally by one round, decomposes it — incrementally too,
 // refining the previous horizon's partition via topo.Decomposition.Refine
@@ -276,6 +310,7 @@ func (a *Analyzer) Step(ctx context.Context) (HorizonReport, error) {
 			MaxRuns:     a.opts.MaxRuns,
 			Parallelism: a.parallelism,
 			Pager:       a.pager,
+			Symmetry:    a.symmetry(),
 		})
 		if err != nil {
 			return HorizonReport{}, fmt.Errorf("check: horizon 0: %w", err)
@@ -322,8 +357,13 @@ func (a *Analyzer) Step(ctx context.Context) (HorizonReport, error) {
 		}
 	}
 	rep := HorizonReport{
-		Horizon:           t,
-		Runs:              next.Len(),
+		Horizon: t,
+		// Runs reports full-space numbers: under the symmetry quotient
+		// (Options.NoSymmetry unset) fewer items are interned, but the
+		// space they represent — and every budget and report derived from
+		// it — is unchanged.
+		Runs:              next.FullLen(),
+		InternedRuns:      next.Len(),
 		Components:        res.Components,
 		MixedComponents:   res.MixedComponents,
 		Broadcastable:     broadcastable,
@@ -405,7 +445,10 @@ func (a *Analyzer) finalizeCompact() {
 		return
 	}
 	chainLen := a.opts.EffectiveCertChainLen(a.adv.N())
-	if ob, ok := a.adv.(*ma.Oblivious); ok && chainLen > 0 {
+	// Normalize first, so algebraic identity spellings of an oblivious
+	// adversary (Intersect with Unrestricted, zero-length Concat prefixes)
+	// reach the certificate searches their plain spelling reaches.
+	if ob, ok := ma.Normalize(a.adv).(*ma.Oblivious); ok && chainLen > 0 {
 		// The pump search is polynomial in the graph-set size; try it
 		// first. The bounded-chain greatest fixpoint is exponential in
 		// the chain length and graph count, so it is gated on small sets.
@@ -452,8 +495,13 @@ func (a *Analyzer) finalizeNonCompact() {
 	// A witness item is one whose obligations discharged early enough
 	// that broadcast completion is owed within the horizon. Candidate
 	// broadcasters must be heard-by-all in every witness item by
-	// DoneAt + LatencySlack.
+	// DoneAt + LatencySlack. Under the symmetry quotient the counts are
+	// orbit-weighted and every relabeled twin's (permuted) heard mask
+	// joins the candidate intersection, so the evidence — including the
+	// Notes counts — is byte-identical to a full-space session's.
 	n := s.N()
+	grp := s.SymGroup() // nil when not quotiented
+	morder := s.SymOrder()
 	witnesses, discharged := 0, 0
 	candidates := make([]bool, n)
 	for p := range candidates {
@@ -464,19 +512,31 @@ func (a *Analyzer) finalizeNonCompact() {
 		if doneAt < 0 {
 			continue
 		}
-		discharged++
+		w := s.OrbitSize(i)
+		discharged += w
 		if doneAt > t-a.opts.LatencySlack {
 			continue
 		}
-		witnesses++
+		witnesses += w
 		deadline := doneAt + a.opts.LatencySlack
 		if deadline > t {
 			deadline = t
 		}
 		heard := s.HeardByAllAt(i, deadline)
-		for p := 0; p < n; p++ {
-			if candidates[p] && heard&(1<<uint(p)) == 0 {
-				candidates[p] = false
+		if grp == nil {
+			for p := 0; p < n; p++ {
+				if candidates[p] && heard&(1<<uint(p)) == 0 {
+					candidates[p] = false
+				}
+			}
+		} else {
+			for k := 0; k < morder; k++ {
+				hk := graph.PermuteMask(heard, grp.Elem(k))
+				for p := 0; p < n; p++ {
+					if candidates[p] && hk&(1<<uint(p)) == 0 {
+						candidates[p] = false
+					}
+				}
 			}
 		}
 	}
@@ -518,35 +578,41 @@ func (a *Analyzer) finalizeNonCompact() {
 	rule := &BroadcastRule{Broadcaster: best}
 	res.Rule = rule
 
-	// Measure decision latency of the broadcast rule over Done items.
+	// Measure decision latency of the broadcast rule over Done items —
+	// over every orbit member under the quotient (per-process decision
+	// times permute across twins, so the rep alone would under-report the
+	// fold; with m = 1 the pseudo accessors are ViewsOf/RunOf verbatim).
 	for i := 0; i < s.Len(); i++ {
 		doneAt := s.DoneAt(i)
 		if doneAt < 0 || doneAt > t-a.opts.LatencySlack {
 			continue
 		}
-		item := s.Item(i)
-		last := 0
-		for p := 0; p < n; p++ {
-			decided := false
-			for tt := 0; tt <= t; tt++ {
-				if _, ok := rule.Decide(ViewOf(item.Run, item.Views, tt, p)); ok {
-					if tt > last {
-						last = tt
+		for k := 0; k < morder; k++ {
+			run := s.PseudoRun(i, k)
+			views := s.PseudoViews(i, k)
+			last := 0
+			for p := 0; p < n; p++ {
+				decided := false
+				for tt := 0; tt <= t; tt++ {
+					if _, ok := rule.Decide(ViewOf(run, views, tt, p)); ok {
+						if tt > last {
+							last = tt
+						}
+						decided = true
+						break
 					}
-					decided = true
-					break
+				}
+				if !decided {
+					res.PendingUndecided = true
 				}
 			}
-			if !decided {
-				res.PendingUndecided = true
+			latency := last - doneAt
+			if latency < 0 {
+				latency = 0 // decided before the obligation discharged
 			}
-		}
-		latency := last - doneAt
-		if latency < 0 {
-			latency = 0 // decided before the obligation discharged
-		}
-		if latency > res.MaxDecisionLatency {
-			res.MaxDecisionLatency = latency
+			if latency > res.MaxDecisionLatency {
+				res.MaxDecisionLatency = latency
+			}
 		}
 	}
 	if res.PendingUndecided {

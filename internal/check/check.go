@@ -60,6 +60,14 @@ type Options struct {
 	// are allowed between obligation discharge and full decision before
 	// the checker refuses the solvability evidence (default 2).
 	LatencySlack int
+	// NoSymmetry disables the automorphism quotient (DESIGN.md §13): by
+	// default the session interns one run-prefix representative per orbit
+	// of ma.Automorphisms(adv) and expands orbits where full-space
+	// structure is needed, which changes no observable output — verdicts,
+	// horizons, decision maps and run counts are identical — only the
+	// interned item count. Set NoSymmetry to analyse the full space
+	// directly (differential testing, symmetry-bug triage).
+	NoSymmetry bool
 }
 
 func (o Options) withDefaults() (Options, error) {

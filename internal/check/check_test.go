@@ -36,21 +36,23 @@ func TestLossyLink2Solvable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := 0; i < res.Space.Len(); i++ {
-		item := res.Space.Item(i)
+	// DecisionRounds rows enumerate orbit members of the quotiented space.
+	m := res.Space.SymOrder()
+	for pi := range times {
+		run := res.Space.PseudoRun(pi/m, pi%m)
 		var agreed = -1
 		for p := 0; p < 2; p++ {
-			if times[i][p] < 0 || times[i][p] > 1 {
-				t.Errorf("run %v: process %d decides at %d, want ≤1", item.Run, p+1, times[i][p])
+			if times[pi][p] < 0 || times[pi][p] > 1 {
+				t.Errorf("run %v: process %d decides at %d, want ≤1", run, p+1, times[pi][p])
 			}
 			if agreed < 0 {
-				agreed = values[i][p]
-			} else if agreed != values[i][p] {
-				t.Errorf("run %v: disagreement %v", item.Run, values[i])
+				agreed = values[pi][p]
+			} else if agreed != values[pi][p] {
+				t.Errorf("run %v: disagreement %v", run, values[pi])
 			}
 		}
-		if v, ok := item.Run.IsValent(); ok && agreed != v {
-			t.Errorf("run %v: validity violated, decided %d", item.Run, agreed)
+		if v, ok := run.IsValent(); ok && agreed != v {
+			t.Errorf("run %v: validity violated, decided %d", run, agreed)
 		}
 	}
 }
@@ -141,14 +143,16 @@ func TestValenceFreeComponentsDecided(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := 0; i < res.Space.Len(); i++ {
+	m := res.Space.SymOrder()
+	for pi := range times {
+		run := res.Space.PseudoRun(pi/m, pi%m)
 		for p := 0; p < 2; p++ {
-			if times[i][p] < 0 {
-				t.Errorf("run %v: process %d undecided", res.Space.RunOf(i), p+1)
+			if times[pi][p] < 0 {
+				t.Errorf("run %v: process %d undecided", run, p+1)
 			}
 		}
-		if v, ok := res.Space.RunOf(i).IsValent(); ok && values[i][0] != v {
-			t.Errorf("run %v: validity violated", res.Space.RunOf(i))
+		if v, ok := run.IsValent(); ok && values[pi][0] != v {
+			t.Errorf("run %v: validity violated", run)
 		}
 	}
 }
@@ -259,18 +263,19 @@ func TestDecisionMapAgreementValidityProperties(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for i := 0; i < res.Space.Len(); i++ {
-			item := res.Space.Item(i)
+		m := res.Space.SymOrder()
+		for pi := range times {
+			run := res.Space.PseudoRun(pi/m, pi%m)
 			for p := 0; p < 2; p++ {
-				if times[i][p] < 0 {
-					t.Errorf("%s: run %v process %d undecided", adv.Name(), item.Run, p+1)
+				if times[pi][p] < 0 {
+					t.Errorf("%s: run %v process %d undecided", adv.Name(), run, p+1)
 				}
 			}
-			if values[i][0] != values[i][1] {
-				t.Errorf("%s: run %v disagreement %v", adv.Name(), item.Run, values[i])
+			if values[pi][0] != values[pi][1] {
+				t.Errorf("%s: run %v disagreement %v", adv.Name(), run, values[pi])
 			}
-			if v, ok := item.Run.IsValent(); ok && values[i][0] != v {
-				t.Errorf("%s: run %v validity violated", adv.Name(), item.Run)
+			if v, ok := run.IsValent(); ok && values[pi][0] != v {
+				t.Errorf("%s: run %v validity violated", adv.Name(), run)
 			}
 		}
 		return true
@@ -369,17 +374,18 @@ func TestLargerInputDomain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := 0; i < res.Space.Len(); i++ {
-		item := res.Space.Item(i)
-		if times[i][0] < 0 || times[i][1] < 0 {
-			t.Errorf("run %v undecided", item.Run)
+	m := res.Space.SymOrder()
+	for pi := range times {
+		run := res.Space.PseudoRun(pi/m, pi%m)
+		if times[pi][0] < 0 || times[pi][1] < 0 {
+			t.Errorf("run %v undecided", run)
 			continue
 		}
-		if values[i][0] != values[i][1] {
-			t.Errorf("run %v disagreement %v", item.Run, values[i])
+		if values[pi][0] != values[pi][1] {
+			t.Errorf("run %v disagreement %v", run, values[pi])
 		}
-		if v, ok := item.Run.IsValent(); ok && values[i][0] != v {
-			t.Errorf("run %v validity violated", item.Run)
+		if v, ok := run.IsValent(); ok && values[pi][0] != v {
+			t.Errorf("run %v validity violated", run)
 		}
 	}
 }

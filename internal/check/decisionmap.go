@@ -59,6 +59,10 @@ type DecisionMap struct {
 //     compatible with it lies in a component assigned v.
 func BuildDecisionMap(d *topo.Decomposition, defaultValue int) *DecisionMap {
 	s := d.Space
+	mult := d.Mult
+	if mult <= 1 {
+		mult = 1
+	}
 	m := &DecisionMap{
 		adv:        s.Adversary,
 		interner:   s.Interner,
@@ -78,7 +82,10 @@ func BuildDecisionMap(d *topo.Decomposition, defaultValue int) *DecisionMap {
 					bc >>= 1
 					p++
 				}
-				m.assignment[ci] = s.Inputs(c.Members[0])[p]
+				// Members index pseudo-items on quotiented spaces
+				// (DESIGN.md §13); the broadcaster's input lives in the
+				// relabeled copy, not the representative.
+				m.assignment[ci] = s.PseudoInput(c.Members[0]/mult, c.Members[0]%mult, p)
 			}
 		case 1:
 			m.assignment[ci] = c.Valences[0]
@@ -88,24 +95,30 @@ func BuildDecisionMap(d *topo.Decomposition, defaultValue int) *DecisionMap {
 	}
 	// A view bucket is decisive iff all its runs' components share one
 	// assigned value. ViewIDs encode owner and time, so one table over
-	// all (t, p) is sound.
+	// all (t, p) is sound. On quotiented spaces the fold must cover every
+	// orbit member, not just the representative: the relabeled copies
+	// contribute their own view rows (ids pushed through the relabel memo),
+	// and a view decisive among representatives alone could be mixed once
+	// a twin reaches it.
 	type bucket struct {
 		value    int
 		decisive bool
 	}
 	buckets := make(map[ptg.ViewID]bucket, s.Len()*s.N())
 	for i := 0; i < s.Len(); i++ {
-		v := m.assignment[d.CompOf[i]]
-		views := s.ViewsOf(i)
-		for t := 0; t <= s.Horizon; t++ {
-			for p := 0; p < s.N(); p++ {
-				id := views.ID(t, p)
-				b, seen := buckets[id]
-				switch {
-				case !seen:
-					buckets[id] = bucket{value: v, decisive: v >= 0}
-				case b.decisive && b.value != v:
-					buckets[id] = bucket{decisive: false}
+		for k := 0; k < mult; k++ {
+			v := m.assignment[d.CompOf[i*mult+k]]
+			views := s.PseudoViews(i, k)
+			for t := 0; t <= s.Horizon; t++ {
+				for p := 0; p < s.N(); p++ {
+					id := views.ID(t, p)
+					b, seen := buckets[id]
+					switch {
+					case !seen:
+						buckets[id] = bucket{value: v, decisive: v >= 0}
+					case b.decisive && b.value != v:
+						buckets[id] = bucket{decisive: false}
+					}
 				}
 			}
 		}
@@ -138,28 +151,34 @@ func (m *DecisionMap) Decide(id ptg.ViewID) (int, bool) {
 }
 
 // DecisionRounds runs the universal algorithm over every run of the
-// reference space and returns, for each item, the per-process decision
+// reference space and returns, for each run, the per-process decision
 // times (-1 when a process has not decided by the reference horizon) and
-// values.
+// values. On quotiented spaces (DESIGN.md §13) the rows enumerate every
+// orbit member — pseudo-item (i, k) lands at row i*SymOrder()+k — so the
+// result covers the full space, not just the interned representatives.
 func (m *DecisionMap) DecisionRounds(s *topo.Space) ([][]int, [][]int, error) {
 	if s.Interner != m.interner {
 		return nil, nil, fmt.Errorf("check: space and decision map use different interners")
 	}
 	n := s.N()
-	times := make([][]int, s.Len())
-	values := make([][]int, s.Len())
+	mult := s.SymOrder()
+	times := make([][]int, s.Len()*mult)
+	values := make([][]int, s.Len()*mult)
 	for i := 0; i < s.Len(); i++ {
-		times[i] = make([]int, n)
-		values[i] = make([]int, n)
-		views := s.ViewsOf(i)
-		for p := 0; p < n; p++ {
-			times[i][p] = -1
-			values[i][p] = -1
-			for t := 0; t <= s.Horizon && t <= m.reference; t++ {
-				if v, ok := m.decide[views.ID(t, p)]; ok {
-					times[i][p] = t
-					values[i][p] = v
-					break
+		for k := 0; k < mult; k++ {
+			pi := i*mult + k
+			times[pi] = make([]int, n)
+			values[pi] = make([]int, n)
+			views := s.PseudoViews(i, k)
+			for p := 0; p < n; p++ {
+				times[pi][p] = -1
+				values[pi][p] = -1
+				for t := 0; t <= s.Horizon && t <= m.reference; t++ {
+					if v, ok := m.decide[views.ID(t, p)]; ok {
+						times[pi][p] = t
+						values[pi][p] = v
+						break
+					}
 				}
 			}
 		}
@@ -180,13 +199,20 @@ func (m *DecisionMap) CrossAssignmentLevel(d *topo.Decomposition) (int, bool) {
 		return 0, false
 	}
 	// Materialize each assigned item's Views adapter once; the pair scan
-	// then touches only shared row headers.
-	idx := make([]int, 0, s.Len())
-	views := make([]*ptg.Views, 0, s.Len())
-	for i := 0; i < s.Len(); i++ {
-		if m.assignment[d.CompOf[i]] >= 0 {
-			idx = append(idx, i)
-			views = append(views, s.ViewsOf(i))
+	// then touches only shared row headers. On quotiented spaces the scan
+	// covers every pseudo-item: cross-value pairs can relate two members
+	// of the same orbit, so representatives alone would overstate the
+	// separation level.
+	mult := d.Mult
+	if mult <= 1 {
+		mult = 1
+	}
+	idx := make([]int, 0, len(d.CompOf))
+	views := make([]*ptg.Views, 0, len(d.CompOf))
+	for pi := 0; pi < len(d.CompOf); pi++ {
+		if m.assignment[d.CompOf[pi]] >= 0 {
+			idx = append(idx, pi)
+			views = append(views, s.PseudoViews(pi/mult, pi%mult))
 		}
 	}
 	best := -1
@@ -225,12 +251,15 @@ func CrossDecisionLevel(m *DecisionMap, s *topo.Space) (int, bool, error) {
 	if err != nil {
 		return 0, false, err
 	}
-	idx := make([]int, 0, s.Len())
-	views := make([]*ptg.Views, 0, s.Len())
-	for i := 0; i < s.Len(); i++ {
-		if values[i][0] >= 0 {
-			idx = append(idx, i)
-			views = append(views, s.ViewsOf(i))
+	// DecisionRounds rows enumerate pseudo-items on quotiented spaces;
+	// mirror its indexing so every orbit member joins the pair scan.
+	mult := s.SymOrder()
+	idx := make([]int, 0, len(values))
+	views := make([]*ptg.Views, 0, len(values))
+	for pi := range values {
+		if values[pi][0] >= 0 {
+			idx = append(idx, pi)
+			views = append(views, s.PseudoViews(pi/mult, pi%mult))
 		}
 	}
 	best := -1

@@ -133,6 +133,10 @@ func RestoreAnalyzer(adv ma.Adversary, snap *SessionSnapshot, interner *ptg.Inte
 		Interner:    interner,
 		Pager:       pg,
 		Rounds:      snap.Rounds,
+		// The quotient is derived state (pages are symmetry-agnostic): the
+		// restored chain re-derives the same group from the same adversary
+		// and options, so representative selection replays identically.
+		Symmetry: a.symmetry(),
 	})
 	if err != nil {
 		return nil, err

@@ -6,13 +6,17 @@
 //	interner.bin   the exported view-interner arena (package ptg)
 //	ckpt.manifest  the versioned, checksummed manifest tying them together
 //
-// Manifest format (version 1, line-framed like internal/store records):
+// Manifest format (version 2, line-framed like internal/store records):
 //
-//	topocon-ckpt 1
+//	topocon-ckpt 2
 //	fingerprint <ma.Fingerprint of the adversary at the resolved MaxHorizon>
 //	interner <byte length> <crc32, 8 lowercase hex digits, IEEE>
 //	meta <compact JSON of check.SessionSnapshot>
 //	crc32 <8 lowercase hex digits, IEEE, over the four lines above>
+//
+// Version 2 marks checkpoints written by the symmetry-quotient checker;
+// version-1 checkpoints (full, unquotiented frontiers) are quarantined and
+// recomputed rather than resumed (see manifestVersion).
 //
 // Save writes pages first (via Analyzer.Snapshot), then the interner blob,
 // then the manifest — each through a `.tmp` sibling renamed into place — so
@@ -49,7 +53,12 @@ import (
 )
 
 const (
-	manifestVersion = 1
+	// manifestVersion 2 marks checkpoints written by the symmetry-quotient
+	// checker (DESIGN.md §13): a v1 checkpoint's pages hold the full,
+	// unquotiented frontier, which a quotiented session must not resume
+	// into (the round item counts would mis-shape every page). Version-1
+	// manifests therefore fail decoding, quarantine, and recompute.
+	manifestVersion = 2
 	manifestName    = "ckpt.manifest"
 	internerName    = "interner.bin"
 	pagesDirName    = "pages"

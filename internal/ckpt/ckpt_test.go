@@ -3,6 +3,8 @@ package ckpt
 import (
 	"context"
 	"errors"
+	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"strings"
@@ -191,6 +193,23 @@ func TestCorruptCheckpointQuarantinedAndRecomputed(t *testing.T) {
 		"page-truncated":     func(t *testing.T, dir string) { mutate(t, pageFile(t, dir), true) },
 		"page-bitflip":       func(t *testing.T, dir string) { mutate(t, pageFile(t, dir), false) },
 		"interner-missing":   func(t *testing.T, dir string) { os.Remove(internerPath(dir)) },
+		// A version-1 checkpoint is intact but predates the symmetry
+		// quotient: its pages hold the full frontier, which the quotiented
+		// checker must not resume into. Rewrite the manifest as a
+		// well-formed v1 (valid CRC) and require quarantine + recompute.
+		"stale-version": func(t *testing.T, dir string) {
+			data, err := os.ReadFile(manifestPath(dir))
+			if err != nil {
+				t.Fatal(err)
+			}
+			lines := strings.Split(string(data), "\n")
+			lines[0] = "topocon-ckpt 1"
+			body := strings.Join(lines[:4], "\n") + "\n"
+			manifest := body + fmt.Sprintf("crc32 %08x\n", crc32.ChecksumIEEE([]byte(body)))
+			if err := os.WriteFile(manifestPath(dir), []byte(manifest), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
 	}
 	for name, corrupt := range cases {
 		t.Run(name, func(t *testing.T) {

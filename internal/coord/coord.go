@@ -19,6 +19,15 @@
 //     to a peer naming the dead holder as adoptFrom, and the peer resumes
 //     from the adopted checkpoint with zero horizon re-extension.
 //
+//   - Revival probes. A dead mark is a hypothesis, not a verdict: the
+//     coordinator re-probes a dead worker's GET /healthz on the run's
+//     backoff policy and returns it to the dispatch rotation on the first
+//     200 — so a worker that was restarted (or suffered a transient
+//     network partition) rejoins the sweep instead of staying benched for
+//     the rest of the run. Probes are capped (reviveProbes attempts per
+//     death), so a permanently gone worker costs a bounded number of
+//     requests and an all-dead fleet still terminates the run.
+//
 //   - A per-cell circuit breaker. Transient refusals (409 lease conflicts,
 //     429 slot exhaustion) wait-and-retry without limit; genuine failures
 //     (HTTP 500, cell Status "error") count against Config.MaxAttempts,
@@ -48,8 +57,9 @@ import (
 // Config parameterizes a coordinated sweep run.
 type Config struct {
 	// Workers are the fleet's base URLs, e.g. "http://127.0.0.1:8081".
-	// Workers that stop answering TCP are marked dead for the rest of the
-	// run; their leased cells are stolen by the survivors.
+	// Workers that stop answering TCP are marked dead and their leased
+	// cells stolen by the survivors; a capped background probe of each
+	// dead worker's /healthz returns it to the rotation if it recovers.
 	Workers []string
 	// LeaseTTL is the per-cell lease duration sent with every claim; a
 	// worker that misses renewals for this long loses the cell (≤ 0: 30s).
@@ -109,6 +119,10 @@ type Stats struct {
 	BreakerTrips int `json:"breakerTrips"`
 	// DeadWorkers counts workers marked dead (transport failure or drain).
 	DeadWorkers int `json:"deadWorkers"`
+	// Revived counts dead workers returned to rotation by a successful
+	// health probe. A worker that dies and revives repeatedly counts once
+	// per death, so Revived can exceed the fleet size.
+	Revived int `json:"revived"`
 }
 
 // ErrNoWorkers is returned by Run when the fleet is empty.
@@ -156,10 +170,16 @@ func Run(ctx context.Context, tpl *scenario.Template, cfg Config) (*sweep.Report
 		work[i] = w
 	}
 
+	// Revival probes outlive the cell dispatch that spawned them but not
+	// the run: cancelling probeCtx (and waiting on the probe group) at exit
+	// keeps Run's return prompt even when a dead worker never answers.
+	probeCtx, stopProbes := context.WithCancel(ctx)
+	defer stopProbes()
 	co := &coordinator{
-		cfg:   cfg,
-		pool:  newWorkerPool(cfg.Workers),
-		stats: Stats{Cells: len(cells)},
+		cfg:      cfg,
+		pool:     newWorkerPool(cfg.Workers),
+		stats:    Stats{Cells: len(cells)},
+		probeCtx: probeCtx,
 	}
 	start := time.Now()
 	results := make([]sweep.CellResult, len(cells))
@@ -181,6 +201,8 @@ func Run(ctx context.Context, tpl *scenario.Template, cfg Config) (*sweep.Report
 	}
 	close(queue)
 	wg.Wait()
+	stopProbes()
+	co.probes.Wait()
 
 	rep := &sweep.Report{
 		Template:   tpl.Name,
@@ -201,6 +223,11 @@ func Run(ctx context.Context, tpl *scenario.Template, cfg Config) (*sweep.Report
 type coordinator struct {
 	cfg  Config
 	pool *workerPool
+
+	// probeCtx scopes revival probes to the run; probes tracks them so Run
+	// can wait for the goroutines after cancelling.
+	probeCtx context.Context
+	probes   sync.WaitGroup
 
 	mu    sync.Mutex
 	stats Stats
@@ -299,10 +326,13 @@ func (co *coordinator) runCell(ctx context.Context, w cellWork) sweep.CellResult
 			// The worker is unreachable or draining: mark it dead and move
 			// on. Not a cell failure — if the dead worker held this cell's
 			// lease, the next claim will 409 against it and the conflict
-			// body identifies whom to steal from.
+			// body identifies whom to steal from. A background probe gives
+			// the worker a bounded chance to rejoin the rotation.
 			if co.pool.markDead(worker) {
 				co.count(func(s *Stats) { s.DeadWorkers++ })
 				co.cfg.Logf("coord: worker %s marked dead (%s)", worker, out.err)
+				co.probes.Add(1)
+				go co.probeRevival(co.probeCtx, worker)
 			}
 
 		case claimFailed:
@@ -463,9 +493,11 @@ func (w cellWork) cancelled(attempt int) sweep.CellResult {
 }
 
 // workerPool is the fleet roster: round-robin assignment skipping workers
-// marked dead. Death is permanent for the run — a worker that dropped TCP
-// mid-claim may have half a solve in flight, and re-trusting it buys
-// little over letting the survivors steal its cells.
+// marked dead. Death is a reversible mark, not a verdict: a revival probe
+// that sees the worker's /healthz answer 200 calls markAlive and the
+// worker rejoins the rotation — any half-finished solve it still holds is
+// resolved by the lease protocol (survivors steal expired leases; the
+// revived worker's stale session loses its lease and abandons the cell).
 type workerPool struct {
 	mu   sync.Mutex
 	urls []string
@@ -500,4 +532,65 @@ func (p *workerPool) markDead(url string) bool {
 	}
 	p.dead[url] = true
 	return true
+}
+
+// markAlive returns a dead worker to the rotation; false if it was not dead.
+func (p *workerPool) markAlive(url string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.dead[url] {
+		return false
+	}
+	delete(p.dead, url)
+	return true
+}
+
+// reviveProbes caps the /healthz re-probe attempts spent on each death, so
+// a permanently gone worker costs a bounded number of requests and the
+// all-dead terminal path is never postponed indefinitely.
+const reviveProbes = 8
+
+// probeHealthTimeout bounds each individual /healthz request. Health
+// checks are cheap; a worker that cannot answer within this window is not
+// ready to rejoin the rotation yet.
+const probeHealthTimeout = 2 * time.Second
+
+// probeRevival re-probes a dead worker's /healthz on the run's backoff
+// policy and returns it to the rotation on the first 200. One probe
+// goroutine runs per death (markDead's true return gates the spawn), so a
+// worker that flaps gets a fresh probe budget each time it dies.
+func (co *coordinator) probeRevival(ctx context.Context, worker string) {
+	defer co.probes.Done()
+	for attempt := 1; attempt <= reviveProbes; attempt++ {
+		if retry.Sleep(ctx, co.cfg.Retry.Delay(attempt)) != nil {
+			return
+		}
+		if !co.probeHealth(ctx, worker) {
+			continue
+		}
+		if co.pool.markAlive(worker) {
+			co.count(func(s *Stats) { s.Revived++ })
+			co.cfg.Logf("coord: worker %s revived after %d health probes", worker, attempt)
+		}
+		return
+	}
+	co.cfg.Logf("coord: worker %s stayed dead after %d health probes", worker, reviveProbes)
+}
+
+// probeHealth reports whether the worker's /healthz answers 200 within the
+// probe timeout. 503 (draining) and transport errors both read as not yet.
+func (co *coordinator) probeHealth(ctx context.Context, worker string) bool {
+	pctx, cancel := context.WithTimeout(ctx, probeHealthTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, worker+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := co.cfg.Client.Do(req)
+	if err != nil {
+		return false
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
 }

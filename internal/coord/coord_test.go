@@ -71,11 +71,18 @@ type testWorker struct {
 // claim must be un-wedged (faults.ReleaseStalls) by an earlier cleanup.
 func newWorker(t *testing.T, storeDir, ckptDir, id string, faults *faultfs.Schedule) *testWorker {
 	t.Helper()
+	return newWorkerSlots(t, storeDir, ckptDir, id, faults, 1)
+}
+
+// newWorkerSlots is newWorker with an explicit session-slot count, for
+// tests where a wedged solve must not exhaust the worker's capacity.
+func newWorkerSlots(t *testing.T, storeDir, ckptDir, id string, faults *faultfs.Schedule, slots int) *testWorker {
+	t.Helper()
 	s, err := svc.New(svc.Config{
 		StoreDir:      storeDir,
 		CheckpointDir: ckptDir,
 		WorkerID:      id,
-		Workers:       1,
+		Workers:       slots,
 		Faults:        faults,
 	})
 	if err != nil {
@@ -259,6 +266,115 @@ func TestRunStealsFromDeadWorker(t *testing.T) {
 		if g.Name != m.Name || g.Status != m.Status || g.Verdict != m.Verdict || g.SeparationHorizon != m.SeparationHorizon {
 			t.Fatalf("cell %d diverges from the single-process golden run:\n  golden %+v\n  merged %+v", i, g, m)
 		}
+	}
+}
+
+// TestRunRevivesRestartedWorker is the revival drill: a worker wedges
+// mid-solve, its claim connection is severed (it is marked dead and its
+// cell stolen, same as TestRunStealsFromDeadWorker), but the server itself
+// keeps running — the restarted-worker case. The coordinator's health
+// probe must return it to the rotation, and the revived worker must solve
+// cells for the rest of the sweep instead of staying benched.
+func TestRunRevivesRestartedWorker(t *testing.T) {
+	storeDir, ckptDir := t.TempDir(), t.TempDir()
+	faults, err := faultfs.Parse("stall:horizon:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two slots on w1: the wedged solve pins one for the whole test, and
+	// post-revival claims need the other free.
+	w1 := newWorkerSlots(t, storeDir, ckptDir, "w1", faults, 2)
+	w2 := newWorker(t, storeDir, ckptDir, "w2", nil)
+	t.Cleanup(faults.ReleaseStalls)
+
+	leases, err := store.OpenLeases(filepath.Join(ckptDir, "leases"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tpl := parseTemplate(t, gridTemplate)
+	cells, err := tpl.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]sweep.Key, len(cells))
+	for i, c := range cells {
+		if keys[i], err = sweep.KeyFor(c.Scenario.Adversary, c.Scenario.Options); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	type outcome struct {
+		rep   *sweep.Report
+		stats *Stats
+		err   error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		// One dispatcher makes the sequencing deterministic: w1 gets the
+		// first cell (and wedges on it), so every cell w1 completes in the
+		// merged report was claimed after its death and revival.
+		rep, stats, err := Run(context.Background(), tpl, Config{
+			Workers:     []string{w1.ts.URL, w2.ts.URL},
+			LeaseTTL:    300 * time.Millisecond,
+			Dispatchers: 1,
+			Retry:       fastRetry(),
+			Logf:        t.Logf,
+		})
+		done <- outcome{rep, stats, err}
+	}()
+
+	// Wait for w1's first solve to wedge with its lease on disk, then cut
+	// the coordinator's connections to it. Unlike the steal test, the
+	// server stays up: the next health probe answers 200 and w1 rejoins.
+	deadline := time.Now().Add(15 * time.Second)
+	wedged := false
+	for !wedged && time.Now().Before(deadline) {
+		for _, k := range keys {
+			if l, ok := leases.Get(k); ok && l.Holder == "w1" && l.State == store.LeaseHeld {
+				wedged = true
+				break
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !wedged {
+		t.Fatal("w1 never held a lease; the stall fault did not engage")
+	}
+	time.Sleep(50 * time.Millisecond) // let the solve reach the stall point
+	w1.ts.CloseClientConnections()
+
+	var out outcome
+	select {
+	case out = <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("coordinated sweep did not finish after the worker restart")
+	}
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	s := out.rep.Summary
+	if s.Cells != 6 || s.Done != 6 || s.Errors != 0 || s.Cancelled != 0 {
+		t.Fatalf("summary = %+v: a revived worker must cost no cells", s)
+	}
+	if out.stats.DeadWorkers != 1 || out.stats.Revived != 1 {
+		t.Fatalf("stats = %+v: want exactly one death and one revival", out.stats)
+	}
+	if out.stats.Steals < 1 {
+		t.Fatalf("stats = %+v: the wedged cell must still be stolen", out.stats)
+	}
+	// The revived worker must have claimed and solved cells after rejoining
+	// the rotation — that is the difference from permanent death. (Its first
+	// claim wedged and was stolen, so every w1-completed cell is
+	// post-revival; the rotation may even hand it its own stolen cell back.)
+	revivedCells := 0
+	for _, c := range out.rep.Cells {
+		if c.Worker == "w1" {
+			revivedCells++
+		}
+	}
+	if revivedCells == 0 {
+		t.Fatal("no merged cell was solved by the revived worker")
 	}
 }
 

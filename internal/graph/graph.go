@@ -205,6 +205,33 @@ func (g Graph) RemoveEdge(p, q int) Graph {
 	return Graph{n: g.n, in: in}
 }
 
+// Relabel returns the graph with every node p renamed to perm[p]: (p,q)
+// is an edge of g iff (perm[p],perm[q]) is an edge of the result. perm
+// must be a permutation of [0,n). Self-loops map to self-loops, so the
+// result is again a valid graph.
+func (g Graph) Relabel(perm []int) Graph {
+	if len(perm) != g.n {
+		panic(fmt.Sprintf("graph: relabeling %d-node graph with %d-element permutation", g.n, len(perm)))
+	}
+	in := make([]uint64, g.n)
+	for q := 0; q < g.n; q++ {
+		in[perm[q]] = PermuteMask(g.in[q], perm)
+	}
+	return Graph{n: g.n, in: in}
+}
+
+// PermuteMask relabels a node bitmask: bit p of mask becomes bit perm[p]
+// of the result. Bits at positions ≥ len(perm) must be zero.
+func PermuteMask(mask uint64, perm []int) uint64 {
+	var out uint64
+	for mask != 0 {
+		p := bits.TrailingZeros64(mask)
+		mask &^= 1 << uint(p)
+		out |= 1 << uint(perm[p])
+	}
+	return out
+}
+
 // Union returns the graph with the union of both edge sets.
 // It panics if the node counts differ (programming error).
 func (g Graph) Union(h Graph) Graph {

@@ -24,8 +24,13 @@ import (
 // not their transitions, so Fingerprint(a, d) distinguishes behaviours
 // that differ within d rounds and may merge ones that differ only later.
 //
+// The expression tree is normalized first (see Normalize): algebraic
+// identity spellings like Intersect(a, Unrestricted) hash exactly like a,
+// so they share one sweep-cache entry instead of re-solving.
+//
 //topocon:export
 func Fingerprint(a Adversary, depth int) string {
+	a = Normalize(a)
 	h := sha256.New()
 	fmt.Fprintf(h, "n=%d;compact=%v;\n", a.N(), a.Compact())
 

@@ -1,0 +1,104 @@
+package ma
+
+import (
+	"testing"
+)
+
+// TestNormalizeRewritesIdentitySpellings: the algebraic identity rewrites
+// fire structurally — the normal form of an identity spelling IS the
+// underlying operand, not merely something behaviourally equal to it.
+func TestNormalizeRewritesIdentitySpellings(t *testing.T) {
+	u := Unrestricted(2)
+	for _, f := range seedFamilies() {
+		f := f
+		// isOperand checks the rewrite reached f itself. When f is the
+		// unrestricted adversary both Intersect operands are units and
+		// either may be returned, so membership in the unrestricted family
+		// is the right notion of identity there.
+		isOperand := func(got Adversary) bool {
+			if IsUnrestricted(f) {
+				return IsUnrestricted(got)
+			}
+			return got == Normalize(f)
+		}
+		t.Run(f.Name(), func(t *testing.T) {
+			if got := Normalize(MustIntersect("", f, u)); !isOperand(got) {
+				t.Errorf("Normalize(Intersect(a, U)) = %q, want the operand", got.Name())
+			}
+			if got := Normalize(MustIntersect("", u, f)); !isOperand(got) {
+				t.Errorf("Normalize(Intersect(U, a)) = %q, want the operand", got.Name())
+			}
+			if got := Normalize(MustConcat("", LossyLink3(), 0, f)); !isOperand(got) {
+				t.Errorf("Normalize(Concat(a, 0, b)) = %q, want the suffix operand", got.Name())
+			}
+			// Rewrites recurse: nesting identity spellings still reaches the
+			// underlying operand.
+			nested := MustIntersect("", MustConcat("", u, 0, MustIntersect("", f, u)), u)
+			if got := Normalize(nested); !isOperand(got) {
+				t.Errorf("Normalize(nested spelling) = %q, want the operand", got.Name())
+			}
+		})
+	}
+}
+
+// TestNormalizePassThrough: adversaries with nothing to rewrite come back
+// unchanged (same value, not a rebuilt copy), and genuine combinators
+// survive normalization with their language intact.
+func TestNormalizePassThrough(t *testing.T) {
+	for _, f := range seedFamilies() {
+		if got := Normalize(f); got != f {
+			t.Errorf("Normalize(%q) rebuilt an already-normal adversary", f.Name())
+		}
+	}
+	// A non-identity Intersect must survive (LossyLink2 is a strict subset
+	// of LossyLink3, not the unit).
+	inter := MustIntersect("", LossyLink3(), LossyLink2())
+	if got := Normalize(inter); got != inter {
+		t.Errorf("Normalize rewrote a non-identity Intersect to %q", got.Name())
+	}
+	// A positive-round Concat must survive, but with its operands
+	// normalized: the zero-round spelling inside the suffix is rewritten.
+	ll2 := LossyLink2()
+	cc := MustConcat("keep", LossyLink3(), 2, MustConcat("", LossyLink3(), 0, ll2))
+	got, ok := Normalize(cc).(*Concat)
+	if !ok {
+		t.Fatalf("Normalize(Concat(a, 2, b)) = %T, want *Concat", Normalize(cc))
+	}
+	if got.Rounds() != 2 {
+		t.Errorf("normalized Concat plays %d prefix rounds, want 2", got.Rounds())
+	}
+	if _, suffix := got.Operands(); suffix != ll2 {
+		t.Errorf("normalized Concat suffix = %q, want the rewritten operand", suffix.Name())
+	}
+}
+
+// TestFingerprintIdentitySpellingsCollide is the fingerprint-equality
+// regression test over the seed corpus: the identity spellings
+// Intersect(a, Unrestricted) and Concat(x, 0, a) must hash exactly like a
+// itself — same cache key, same verdict store entry — for every seed
+// family and on both sides of the Intersect. Before fingerprinting
+// normalized the expression tree, spellings whose automaton states never
+// merge (Concat wraps every successor in a fresh phase-tracking state)
+// hashed differently from their normal forms and split the cache.
+func TestFingerprintIdentitySpellingsCollide(t *testing.T) {
+	const depth = 6
+	u := Unrestricted(2)
+	for _, f := range seedFamilies() {
+		f := f
+		t.Run(f.Name(), func(t *testing.T) {
+			want := Fingerprint(f, depth)
+			spellings := map[string]Adversary{
+				"Intersect(a, U)":       MustIntersect("", f, u),
+				"Intersect(U, a)":       MustIntersect("", u, f),
+				"Concat(lossy3, 0, a)":  MustConcat("", LossyLink3(), 0, f),
+				"Concat(U, 0, a)":       MustConcat("", u, 0, f),
+				"nested identity tower": MustIntersect("", MustConcat("", u, 0, MustIntersect("", f, u)), u),
+			}
+			for label, spelled := range spellings {
+				if got := Fingerprint(spelled, depth); got != want {
+					t.Errorf("%s fingerprints %s, want %s (the operand's)", label, got[:16], want[:16])
+				}
+			}
+		})
+	}
+}

@@ -53,6 +53,24 @@ func (r Run) Extend(g graph.Graph) Run {
 	return Run{Inputs: r.Inputs, Graphs: graphs}
 }
 
+// Relabel returns the run with every process renamed through perm: the
+// input of process perm[p] in the result is r's input of p, and each
+// round graph is relabeled accordingly (graph.Relabel). Relabeling a run
+// by an automorphism of the adversary yields another admissible run — the
+// relabeled twin the symmetry quotient (package topo) stands one
+// representative in for.
+func (r Run) Relabel(perm []int) Run {
+	inputs := make([]int, len(r.Inputs))
+	for p, x := range r.Inputs {
+		inputs[perm[p]] = x
+	}
+	graphs := make([]graph.Graph, len(r.Graphs))
+	for t, g := range r.Graphs {
+		graphs[t] = g.Relabel(perm)
+	}
+	return Run{Inputs: inputs, Graphs: graphs}
+}
+
 // Key returns a canonical map key identifying the run prefix.
 func (r Run) Key() string {
 	var sb strings.Builder

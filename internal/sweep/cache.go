@@ -25,21 +25,30 @@ import (
 //     the adaptive CertChainLen default additionally resolved against the
 //     adversary's process count): a zero field and its effective default
 //     must collide.
-//   - CertEligible records whether the adversary is an *ma.Oblivious: the
-//     impossibility-certificate searches of the compact route only run for
-//     that concrete type, so a behaviourally isomorphic adversary of a
-//     different construction can legitimately end in VerdictUnknown where
-//     the oblivious original proves VerdictImpossible. (For oblivious
-//     adversaries themselves the searches depend only on the graph set,
-//     which any positive-depth fingerprint captures — the automaton has one
-//     state.)
+//   - GroupFingerprint identifies the automorphism group the session
+//     quotients by (DESIGN.md §13): ma.Automorphisms(adv).Fingerprint(),
+//     or the trivial group's under Options.NoSymmetry. Verdicts are
+//     quotient-invariant, but the group detection itself is budgeted
+//     (Automorphisms falls back to trivial), so two builds of this binary
+//     could in principle detect different groups for one behaviour; keying
+//     on the group keeps a cached outcome attributable to the exact
+//     configuration that produced it.
+//   - CertEligible records whether the adversary normalizes to an
+//     *ma.Oblivious (ma.Normalize): the impossibility-certificate searches
+//     of the compact route run exactly for adversaries the checker
+//     recognises as oblivious after normalization, so spellings such as
+//     Intersect(a, Unrestricted) share the key — and the verdict — of
+//     their normal form a. (For oblivious adversaries themselves the
+//     searches depend only on the graph set, which any positive-depth
+//     fingerprint captures — the automaton has one state.)
 //
 // Keys have an exported, versioned canonical byte encoding (String /
 // ParseKey): the identity persistent stores address records by.
 type Key struct {
-	Fingerprint  string
-	Options      check.Options
-	CertEligible bool
+	Fingerprint      string
+	GroupFingerprint string
+	Options          check.Options
+	CertEligible     bool
 }
 
 // KeyFor computes the cache key of a scenario's work unit.
@@ -51,11 +60,16 @@ func KeyFor(adv ma.Adversary, opts check.Options) (Key, error) {
 	// The chain-length default is adaptive in the process count; resolve it
 	// too, so a zero field and its effective value share a key.
 	resolved.CertChainLen = resolved.EffectiveCertChainLen(adv.N())
-	_, oblivious := adv.(*ma.Oblivious)
+	group := ma.TrivialGroup(adv.N())
+	if !resolved.NoSymmetry {
+		group = ma.Automorphisms(adv)
+	}
+	_, oblivious := ma.Normalize(adv).(*ma.Oblivious)
 	return Key{
-		Fingerprint:  ma.Fingerprint(adv, resolved.MaxHorizon),
-		Options:      resolved,
-		CertEligible: oblivious,
+		Fingerprint:      ma.Fingerprint(adv, resolved.MaxHorizon),
+		GroupFingerprint: group.Fingerprint(),
+		Options:          resolved,
+		CertEligible:     oblivious,
 	}, nil
 }
 

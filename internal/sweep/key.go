@@ -11,26 +11,35 @@ import (
 // records by encoded keys can evolve the format without silently mixing
 // incompatible generations: a version bump makes every old encoding
 // unparseable rather than wrongly equal.
-const KeyEncodingVersion = 1
+//
+// v2 added the automorphism-group fingerprint (gf) and the NoSymmetry
+// option bit (ns): v1 records predate the symmetry quotient and carry
+// Runs counts and cert-eligibility judgements from the unquotiented
+// checker, so they are retired wholesale rather than reinterpreted.
+const KeyEncodingVersion = 2
 
 // String returns the key's canonical byte encoding:
 //
-//	v1;fp=<hex fingerprint>;in=<InputDomain>;mh=<MaxHorizon>;mr=<MaxRuns>;
-//	dv=<DefaultValue>;cc=<CertChainLen>;ls=<LatencySlack>;ce=<0|1>
+//	v2;fp=<hex fingerprint>;gf=<hex group fingerprint>;in=<InputDomain>;
+//	mh=<MaxHorizon>;mr=<MaxRuns>;dv=<DefaultValue>;cc=<CertChainLen>;
+//	ls=<LatencySlack>;ns=<0|1>;ce=<0|1>
 //
 // (one line, no spaces). The encoding is injective and canonical: two keys
 // are equal iff their encodings are byte-equal, and ParseKey accepts
 // exactly the strings String produces. Disk stores content-address records
 // by this encoding; treat it as a stable, versioned format.
 func (k Key) String() string {
-	ce := 0
+	ns, ce := 0, 0
+	if k.Options.NoSymmetry {
+		ns = 1
+	}
 	if k.CertEligible {
 		ce = 1
 	}
-	return fmt.Sprintf("v%d;fp=%s;in=%d;mh=%d;mr=%d;dv=%d;cc=%d;ls=%d;ce=%d",
-		KeyEncodingVersion, k.Fingerprint,
+	return fmt.Sprintf("v%d;fp=%s;gf=%s;in=%d;mh=%d;mr=%d;dv=%d;cc=%d;ls=%d;ns=%d;ce=%d",
+		KeyEncodingVersion, k.Fingerprint, k.GroupFingerprint,
 		k.Options.InputDomain, k.Options.MaxHorizon, k.Options.MaxRuns,
-		k.Options.DefaultValue, k.Options.CertChainLen, k.Options.LatencySlack, ce)
+		k.Options.DefaultValue, k.Options.CertChainLen, k.Options.LatencySlack, ns, ce)
 }
 
 // ParseKey parses the canonical encoding produced by Key.String. It is
@@ -42,8 +51,8 @@ func (k Key) String() string {
 //topocon:export
 func ParseKey(s string) (Key, error) {
 	parts := strings.Split(s, ";")
-	if len(parts) != 9 {
-		return Key{}, fmt.Errorf("sweep: key %q: want 9 ';'-separated fields, have %d", s, len(parts))
+	if len(parts) != 11 {
+		return Key{}, fmt.Errorf("sweep: key %q: want 11 ';'-separated fields, have %d", s, len(parts))
 	}
 	if parts[0] != fmt.Sprintf("v%d", KeyEncodingVersion) {
 		return Key{}, fmt.Errorf("sweep: key %q: unsupported version %q (want v%d)", s, parts[0], KeyEncodingVersion)
@@ -55,8 +64,16 @@ func ParseKey(s string) (Key, error) {
 	if !isHex(fp) {
 		return Key{}, fmt.Errorf("sweep: key %q: fingerprint is not lowercase hex", s)
 	}
+	gf, err := keyField(parts[2], "gf")
+	if err != nil {
+		return Key{}, fmt.Errorf("sweep: key %q: %w", s, err)
+	}
+	if !isHex(gf) {
+		return Key{}, fmt.Errorf("sweep: key %q: group fingerprint is not lowercase hex", s)
+	}
 	var k Key
 	k.Fingerprint = fp
+	k.GroupFingerprint = gf
 	ints := []struct {
 		tag string
 		dst *int
@@ -69,7 +86,7 @@ func ParseKey(s string) (Key, error) {
 		{"ls", &k.Options.LatencySlack},
 	}
 	for i, f := range ints {
-		v, err := keyField(parts[2+i], f.tag)
+		v, err := keyField(parts[3+i], f.tag)
 		if err != nil {
 			return Key{}, fmt.Errorf("sweep: key %q: %w", s, err)
 		}
@@ -79,7 +96,19 @@ func ParseKey(s string) (Key, error) {
 		}
 		*f.dst = n
 	}
-	ce, err := keyField(parts[8], "ce")
+	ns, err := keyField(parts[9], "ns")
+	if err != nil {
+		return Key{}, fmt.Errorf("sweep: key %q: %w", s, err)
+	}
+	switch ns {
+	case "0":
+		k.Options.NoSymmetry = false
+	case "1":
+		k.Options.NoSymmetry = true
+	default:
+		return Key{}, fmt.Errorf("sweep: key %q: field ns must be 0 or 1", s)
+	}
+	ce, err := keyField(parts[10], "ce")
 	if err != nil {
 		return Key{}, fmt.Errorf("sweep: key %q: %w", s, err)
 	}

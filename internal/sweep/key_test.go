@@ -25,7 +25,7 @@ func TestKeyEncodingRoundTrip(t *testing.T) {
 				t.Fatal(err)
 			}
 			enc := key.String()
-			if !strings.HasPrefix(enc, "v1;fp=") {
+			if !strings.HasPrefix(enc, "v2;fp=") {
 				t.Fatalf("encoding %q lacks the version prefix", enc)
 			}
 			back, err := ParseKey(enc)
@@ -67,12 +67,15 @@ func TestParseKeyRejects(t *testing.T) {
 	enc := valid.String()
 	bad := []string{
 		"",
-		"v1",
-		"v2;" + strings.TrimPrefix(enc, "v1;"),   // wrong version
+		"v2",
+		"v1;" + strings.TrimPrefix(enc, "v2;"),   // retired version
+		"v3;" + strings.TrimPrefix(enc, "v2;"),   // wrong version
 		strings.Replace(enc, ";in=", ";in=+", 1), // "+2" is not canonical
 		strings.Replace(enc, ";mh=3", ";mh=03", 1),             // leading zero
 		strings.Replace(enc, ";ce=", ";ce=2;x=", 1),            // bad bool + extra field
+		strings.Replace(enc, ";ns=0", ";ns=2", 1),              // bad symmetry bool
 		strings.Replace(enc, "fp=", "fp=XYZ", 1),               // non-hex fingerprint
+		strings.Replace(enc, ";gf=", ";gf=XYZ", 1),             // non-hex group fingerprint
 		strings.Replace(enc, ";in=", ";id=", 1),                // wrong tag
 		enc + ";extra=1",                                       // trailing field
 		strings.ToUpper(enc[:6]) + enc[6:],                     // uppercase hex

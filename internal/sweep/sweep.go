@@ -90,6 +90,13 @@ type Config struct {
 	// PagerHotBytes is each checkpointed cell's pager hot-set budget in
 	// bytes (≤ 0: unlimited). Only meaningful with CheckpointDir.
 	PagerHotBytes int64
+	// NoSymmetry forces check.Options.NoSymmetry on every cell: sessions
+	// analyse the full prefix space instead of the automorphism quotient
+	// (DESIGN.md §13). The option enters each cell's cache key, so
+	// quotiented and full runs of the same grid never share records —
+	// verdicts are identical either way, but run-time statistics differ.
+	// A differential-testing override (CI compares the two sweeps).
+	NoSymmetry bool
 }
 
 // Run expands the template and analyses its grid under the config. On
@@ -265,6 +272,13 @@ func (st *sweepState) runCell(ctx context.Context, cell scenario.Cell) CellResul
 		return res
 	}
 	start := time.Now()
+	if st.cfg.NoSymmetry {
+		// Copy-on-override: cells share the expanded template's Scenario
+		// values; never mutate them in place.
+		override := *sc
+		override.Options.NoSymmetry = true
+		sc = &override
+	}
 	key, err := KeyFor(sc.Adversary, sc.Options)
 	if err != nil {
 		res.Status = StatusError

@@ -60,6 +60,40 @@ func TestKeyForResolvesDefaults(t *testing.T) {
 	}
 }
 
+// TestKeyForNormalizesIdentitySpellings: identity spellings of the same
+// adversary — Intersect(a, Unrestricted) and Concat(x, 0, a) — must
+// produce byte-identical cache keys, including the CertEligible bit, which
+// is decided on the normal form rather than the spelled expression's
+// concrete type. A split here silently re-solves cached cells and lets the
+// same behaviour carry different certificate policies.
+func TestKeyForNormalizesIdentitySpellings(t *testing.T) {
+	adv := ma.LossyLink3()
+	opts := check.Options{MaxHorizon: 4}
+	want, err := KeyFor(adv, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.CertEligible {
+		t.Fatal("oblivious adversary must be certificate-eligible")
+	}
+	spellings := map[string]ma.Adversary{
+		"Intersect(a, U)":   ma.MustIntersect("", adv, ma.Unrestricted(2)),
+		"Intersect(U, a)":   ma.MustIntersect("", ma.Unrestricted(2), adv),
+		"Concat(U, 0, a)":   ma.MustConcat("", ma.Unrestricted(2), 0, adv),
+		"Concat(a', 0, a)":  ma.MustConcat("", ma.LossyLink2(), 0, adv),
+		"nested identities": ma.MustIntersect("", ma.MustConcat("", ma.Unrestricted(2), 0, adv), ma.Unrestricted(2)),
+	}
+	for label, spelled := range spellings {
+		got, err := KeyFor(spelled, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if got != want {
+			t.Errorf("%s splits the cache key:\n  spelled %+v\n  normal  %+v", label, got, want)
+		}
+	}
+}
+
 func mustTemplate(t *testing.T, doc string) *scenario.Template {
 	t.Helper()
 	tpl, err := scenario.ParseTemplate([]byte(doc))

@@ -36,12 +36,43 @@ type Component struct {
 func (c *Component) Mixed() bool { return len(c.Valences) >= 2 }
 
 // Decomposition is the component structure of a space.
+//
+// Over a symmetry-quotiented space (Space.Quotiented) the decomposition
+// works on pseudo-items — pair (i,k) of representative item i and group
+// element k, indexed i·Mult+k — so that it reproduces the FULL space's
+// component structure exactly (two orbit members of one representative
+// may lie in different full-space components; decomposing representative
+// rows alone would be unsound). CompOf and Members then hold pseudo-item
+// indices; divide by Mult for the representative item.
 type Decomposition struct {
 	Space *Space
-	// CompOf maps each item index to its component index.
+	// CompOf maps each (pseudo-)item index to its component index.
 	CompOf []int
 	// Comps are the components, ordered by smallest member.
 	Comps []Component
+	// Mult is the pseudo-item multiplier: the symmetry group's order for
+	// decompositions of quotiented spaces, and 0 or 1 otherwise.
+	Mult int
+}
+
+// mult returns the pseudo-item multiplier, treating the zero value (set
+// by pre-quotient constructors) as 1.
+func (d *Decomposition) mult() int {
+	if d.Mult <= 1 {
+		return 1
+	}
+	return d.Mult
+}
+
+// itemViews materializes the Views adapter of a member index: the item's
+// own views for plain decompositions, the relabeled pseudo-item views
+// under a quotient.
+func (d *Decomposition) itemViews(pi int) *ptg.Views {
+	m := d.mult()
+	if m == 1 {
+		return d.Space.ViewsOf(pi)
+	}
+	return d.Space.PseudoViews(pi/m, pi%m)
 }
 
 // Decompose computes the connected components of the space at its horizon:
@@ -74,7 +105,13 @@ func Decompose(s *Space) *Decomposition {
 //
 //topocon:export
 func DecomposeCtx(ctx context.Context, s *Space) (*Decomposition, error) {
-	u := uf.New(s.Len())
+	// Under a symmetry quotient the union-find runs over pseudo-items
+	// (i,k) = rep × group element, indexed i·m+k, whose view rows are the
+	// rep rows pushed through the chain relabel memo. With m = 1 the
+	// pseudo index IS the item index and the memo lookups vanish.
+	m := s.SymOrder()
+	pcount := s.pseudoLen()
+	u := uf.New(pcount)
 	// Bucket runs by hash-consed view ID; every bucket is a clique in the
 	// indistinguishability relation, so unioning each member to the
 	// bucket's first suffices. View IDs encode the owning process, so a
@@ -91,40 +128,60 @@ func DecomposeCtx(ctx context.Context, s *Space) (*Decomposition, error) {
 		sc.epoch++
 		epoch := sc.epoch
 		stamp, firstOf := sc.stamp, sc.firstOf
+		pi := 0
 		for i := 0; i < count; i++ {
 			if i%cancelCheckInterval == 0 && ctx.Err() != nil {
 				refineScratchPool.Put(sc)
 				return nil, ctx.Err()
 			}
-			for _, id := range ids[i*n : (i+1)*n] {
-				if stamp[id] == epoch {
-					u.Union(int(firstOf[id]), i)
-				} else {
-					stamp[id] = epoch
-					firstOf[id] = int32(i)
+			row := ids[i*n : (i+1)*n]
+			for k := 0; k < m; k++ {
+				var memo []ptg.ViewID
+				if k != 0 {
+					memo = s.sym.memo[k]
 				}
+				for _, id := range row {
+					if memo != nil {
+						id = memo[id]
+					}
+					if stamp[id] == epoch {
+						u.Union(int(firstOf[id]), pi)
+					} else {
+						stamp[id] = epoch
+						firstOf[id] = int32(pi)
+					}
+				}
+				pi++
 			}
 		}
 		refineScratchPool.Put(sc)
 	} else {
 		type scan struct {
-			reps  map[ptg.ViewID]int // view id -> first in-range item
+			reps  map[ptg.ViewID]int // view id -> first in-range pseudo-item
 			edges [][2]int           // in-range (first, later) pairs sharing a view
 		}
 		var (
 			scans   []scan
 			scansMu sync.Mutex
 		)
-		err := forEachChunk(ctx, count, s.parallelism, func(lo, hi int) error {
+		err := forEachChunk(ctx, pcount, s.parallelism, func(lo, hi int) error {
 			sc := scan{reps: make(map[ptg.ViewID]int, (hi-lo)*n)}
-			for i := lo; i < hi; i++ {
+			for pi := lo; pi < hi; pi++ {
+				i, k := pi/m, pi%m
+				var memo []ptg.ViewID
+				if k != 0 {
+					memo = s.sym.memo[k]
+				}
 				for _, id := range ids[i*n : (i+1)*n] {
+					if memo != nil {
+						id = memo[id]
+					}
 					if first, ok := sc.reps[id]; ok {
-						if first != i {
-							sc.edges = append(sc.edges, [2]int{first, i})
+						if first != pi {
+							sc.edges = append(sc.edges, [2]int{first, pi})
 						}
 					} else {
-						sc.reps[id] = i
+						sc.reps[id] = pi
 					}
 				}
 			}
@@ -136,7 +193,7 @@ func DecomposeCtx(ctx context.Context, s *Space) (*Decomposition, error) {
 		if err != nil {
 			return nil, err
 		}
-		global := make(map[ptg.ViewID]int, count*n)
+		global := make(map[ptg.ViewID]int, pcount*n)
 		for _, sc := range scans {
 			for _, e := range sc.edges {
 				u.Union(e[0], e[1])
@@ -153,8 +210,9 @@ func DecomposeCtx(ctx context.Context, s *Space) (*Decomposition, error) {
 	groups := u.Groups()
 	d := &Decomposition{
 		Space:  s,
-		CompOf: make([]int, count),
+		CompOf: make([]int, pcount),
 		Comps:  make([]Component, len(groups)),
+		Mult:   m,
 	}
 	for ci, members := range groups {
 		for _, i := range members {
@@ -176,6 +234,9 @@ func DecomposeCtx(ctx context.Context, s *Space) (*Decomposition, error) {
 // HeardByAll is a row fold over the heard column, inputs come through the
 // O(1) root-ancestor lookup.
 func summarize(s *Space, members []int) Component {
+	if s.sym != nil {
+		return summarizePseudo(s, members)
+	}
 	n := s.N()
 	full := graph.AllNodes(n)
 	c := Component{
@@ -203,6 +264,46 @@ func summarize(s *Space, members []int) Component {
 		in := s.Inputs(i)
 		for p := 0; p < n; p++ {
 			if in[p] != first[p] {
+				c.UniformInputs &^= 1 << uint(p)
+			}
+		}
+	}
+	c.Valences = valenceList(vmask, vbig)
+	return c
+}
+
+// summarizePseudo is summarize over pseudo-item members (i·m+k) of a
+// quotiented space. Valence is relabel-invariant (a run is v-valent iff
+// its inputs are uniformly v, and relabeling permutes positions without
+// changing the multiset); heard masks and input vectors permute, so the
+// folds go through pseudoHeardByAll and the inverse-permuted rep inputs.
+func summarizePseudo(s *Space, members []int) Component {
+	n := s.N()
+	m := s.sym.m
+	g := s.sym.group
+	full := graph.AllNodes(n)
+	c := Component{
+		Members:       members,
+		Broadcasters:  full,
+		UniformInputs: full,
+	}
+	var vmask uint64
+	var vbig []int
+	fi, fk := members[0]/m, members[0]%m
+	firstIn, firstInv := s.Inputs(fi), g.Inv(fk)
+	for _, pi := range members {
+		i, k := pi/m, pi%m
+		if v := s.Valence(i); v >= 0 {
+			if v < 64 {
+				vmask |= 1 << uint(v)
+			} else {
+				vbig = append(vbig, v)
+			}
+		}
+		c.Broadcasters &= s.pseudoHeardByAll(i, k)
+		in, inv := s.Inputs(i), g.Inv(k)
+		for p := 0; p < n; p++ {
+			if in[inv[p]] != firstIn[firstInv[p]] {
 				c.UniformInputs &^= 1 << uint(p)
 			}
 		}
@@ -303,14 +404,14 @@ func (d *Decomposition) CrossValenceLevel() (int, bool) {
 		return 0, false
 	}
 	var items []int
-	for i := 0; i < s.Len(); i++ {
+	for i := 0; i < len(d.CompOf); i++ {
 		if sig[d.CompOf[i]] >= 0 {
 			items = append(items, i)
 		}
 	}
 	views := make([]*ptg.Views, len(items))
 	for k, i := range items {
-		views[k] = s.ViewsOf(i)
+		views[k] = d.itemViews(i)
 	}
 	best := -1
 	var mu sync.Mutex
@@ -368,10 +469,9 @@ func (d *Decomposition) DiameterLevel(ci int) (int, bool) {
 	if len(members) < 2 {
 		return 0, false
 	}
-	s := d.Space
 	views := make([]*ptg.Views, len(members))
 	for a, i := range members {
-		views[a] = s.ViewsOf(i)
+		views[a] = d.itemViews(i)
 	}
 	worst := -1
 	for a := 0; a < len(members); a++ {

@@ -66,15 +66,50 @@ func (s *Space) extendOne(ctx context.Context) (*Space, error) {
 	// adversary contract, not guaranteed to be cheap — allocating
 	// implementations (product automata, filters) would otherwise pay for
 	// every parent twice.
+	//
+	// Under a symmetry quotient (s.sym != nil) the same pass also decides,
+	// per raw child slot, whether the round graph is its orbit's
+	// representative under the parent's stabilizer: keptStab[rawOff[i]+j]
+	// is 0 for dropped twins and the child's stabilizer mask for kept
+	// ones, and offsets count kept children only. The cap check stays in
+	// full-space runs (orbit-weighted), so quotiented and plain sessions
+	// hit MaxRuns budgets identically.
 	choices := make([][]graph.Graph, nParents)
 	offsets := make([]int, nParents+1)
+	var (
+		rawOff    []int
+		keptStab  []uint64
+		fullTotal int
+	)
+	if s.sym != nil {
+		rawOff = make([]int, nParents+1)
+		keptStab = make([]uint64, 0, nParents*2)
+	}
 	for i := 0; i < nParents; i++ {
 		choices[i] = adv.Choices(s.states[i])
-		offsets[i+1] = offsets[i] + len(choices[i])
+		if s.sym == nil {
+			offsets[i+1] = offsets[i] + len(choices[i])
+			continue
+		}
+		rawOff[i+1] = rawOff[i] + len(choices[i])
+		kept := 0
+		si := s.stab[i]
+		for _, g := range choices[i] {
+			st := graphOrbitStab(g, s.sym.group, si)
+			keptStab = append(keptStab, st)
+			if st != 0 {
+				kept++
+			}
+		}
+		offsets[i+1] = offsets[i] + kept
+		fullTotal += s.OrbitSize(i) * len(choices[i])
 	}
 	total := offsets[nParents]
-	if total > s.maxRuns {
-		return nil, fmt.Errorf("topo: space has %d runs, exceeding cap %d", total, s.maxRuns)
+	if s.sym == nil {
+		fullTotal = total
+	}
+	if fullTotal > s.maxRuns {
+		return nil, fmt.Errorf("topo: space has %d runs, exceeding cap %d", fullTotal, s.maxRuns)
 	}
 	n := s.fr.n
 	nf := &frontier{
@@ -102,6 +137,10 @@ func (s *Space) extendOne(ctx context.Context) (*Space, error) {
 		maxRuns:       s.maxRuns,
 		parallelism:   s.parallelism,
 		pager:         s.pager,
+		sym:           s.sym,
+	}
+	if s.sym != nil {
+		next.stab = make([]uint64, total)
 	}
 	interner := s.Interner
 	err := forEachChunk(ctx, nParents, s.parallelism, func(lo, hi int) error {
@@ -116,8 +155,16 @@ func (s *Space) extendOne(ctx context.Context) (*Space, error) {
 			pDoneAt := s.doneAt[i]
 			pValence := s.valence[i]
 			pRoot := s.fr.rootOf[i]
+			c := offsets[i] - 1
 			for j, g := range choices[i] {
-				c := offsets[i] + j
+				var cStab uint64
+				if s.sym != nil {
+					cStab = keptStab[rawOff[i]+j]
+					if cStab == 0 {
+						continue // a relabeled twin of an earlier sibling
+					}
+				}
+				c++
 				dstIDs := nf.ids[c*n : (c+1)*n]
 				dstHeard := nf.heard[c*n : (c+1)*n]
 				for p := 0; p < n; p++ {
@@ -144,12 +191,24 @@ func (s *Space) extendOne(ctx context.Context) (*Space, error) {
 				next.states[c] = state
 				next.doneAt[c] = doneAt
 				next.valence[c] = pValence
+				if s.sym != nil {
+					next.stab[c] = cStab
+				}
 			}
 		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	if s.sym != nil {
+		// Fill the relabel memo for the fresh round while both its column
+		// and the parent's are guaranteed resident (the parent spills just
+		// below). Decomposition and decision-map compilation read the
+		// pseudo-item rows through this memo.
+		if err := next.relabelRound(ctx); err != nil {
+			return nil, err
+		}
 	}
 	if s.pager != nil {
 		// The receiver's round just stopped being the head: persist it and

@@ -1,6 +1,7 @@
 package topo
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -287,6 +288,14 @@ type ChainSpec struct {
 	// Rounds are the persisted rounds, horizons 1..H ascending (from
 	// SnapshotChain).
 	Rounds []ChainRound
+	// Symmetry must be the automorphism group the checkpointed session was
+	// quotiented by (nil for a full-space session). The group, stabilizer
+	// column and relabel memo are derived state — never serialized, the
+	// page format is symmetry-agnostic — so restore recomputes them by the
+	// same recurrence the original extension applied. Restoring a
+	// quotiented chain without its group (or vice versa) mis-shapes every
+	// page's item count and fails the count validation.
+	Symmetry *ma.Group
 }
 
 // RestoreChain rebuilds the frontier chain of a checkpointed session and
@@ -299,6 +308,8 @@ type ChainSpec struct {
 // the pager and evicted again — so restore memory stays at ~two rounds
 // plus one state column regardless of depth, and a corrupt page surfaces
 // here as a clean error, never as a wrong resume.
+//
+//topocon:allow ctxflow -- pre-context bootstrap path behind ckpt.Load/RestoreAnalyzer; work is bounded by the already-checkpointed chain, with no external waits to cancel
 func RestoreChain(spec ChainSpec) (*Space, error) {
 	if spec.Adversary == nil || spec.Interner == nil || spec.Pager == nil {
 		return nil, errors.New("topo: RestoreChain: adversary, interner and pager are required")
@@ -309,7 +320,7 @@ func RestoreChain(spec ChainSpec) (*Space, error) {
 	}
 	adv := spec.Adversary
 	n := adv.N()
-	s := buildBase(adv, spec.InputDomain, spec.Interner, maxRuns, spec.Parallelism)
+	s := buildBaseSym(adv, spec.InputDomain, spec.Interner, maxRuns, spec.Parallelism, spec.Symmetry)
 	s.pager = spec.Pager
 	internedViews := ptg.ViewID(spec.Interner.Size())
 	for ri, cr := range spec.Rounds {
@@ -365,6 +376,21 @@ func RestoreChain(spec ChainSpec) (*Space, error) {
 			maxRuns:     maxRuns,
 			parallelism: spec.Parallelism,
 			pager:       spec.Pager,
+			sym:         s.sym,
+		}
+		if s.sym != nil {
+			// Replay the stabilizer recurrence and refill the round's slice
+			// of the chain relabel memo (derived state, never serialized).
+			// The relabel pass reads the parent round's id column, which was
+			// evicted at the end of its own iteration — fault it back for
+			// the pass; it re-evicts whenever the pager needs the room.
+			next.stab = replayStab(s, f)
+			if err := f.prev.ensure(); err != nil {
+				return nil, err
+			}
+			if err := next.relabelRound(context.Background()); err != nil {
+				return nil, err
+			}
 		}
 		if cr.Horizon < len(spec.Rounds) {
 			// Interior round: register it cold (the page was just validated)
@@ -408,6 +434,7 @@ func (s *Space) AncestorAt(t int) (*Space, error) {
 	states := make([]ma.State, base.count)
 	doneAt := make([]int32, base.count)
 	valence := make([]int32, base.count)
+	var stab []uint64
 	start := s.Adversary.Start()
 	da0 := int32(-1)
 	if s.Adversary.Done(start) {
@@ -418,6 +445,16 @@ func (s *Space) AncestorAt(t int) (*Space, error) {
 		doneAt[i] = da0
 		valence[i] = valenceOf(w)
 	}
+	if s.sym != nil {
+		// The stabilizer column is per-space derived state, replayed forward
+		// alongside the automaton states; the chain relabel memo is shared
+		// and already covers every round ≤ s.Horizon.
+		stab = make([]uint64, base.count)
+		for i, w := range base.inputs {
+			st, _ := inputOrbitRep(w, s.sym.group)
+			stab[i] = st
+		}
+	}
 	for ri := len(path) - 2; ri >= 0; ri-- {
 		f := path[ri]
 		if err := f.ensure(); err != nil {
@@ -426,6 +463,10 @@ func (s *Space) AncestorAt(t int) (*Space, error) {
 		nextStates := make([]ma.State, f.count)
 		nextDoneAt := make([]int32, f.count)
 		nextValence := make([]int32, f.count)
+		var nextStab []uint64
+		if s.sym != nil {
+			nextStab = make([]uint64, f.count)
+		}
 		for c := 0; c < f.count; c++ {
 			pi := f.parentOf[c]
 			state := s.Adversary.Step(states[pi], f.gs[c])
@@ -436,8 +477,11 @@ func (s *Space) AncestorAt(t int) (*Space, error) {
 			nextStates[c] = state
 			nextDoneAt[c] = da
 			nextValence[c] = valence[pi]
+			if nextStab != nil {
+				nextStab[c] = graphOrbitStab(f.gs[c], s.sym.group, stab[pi])
+			}
 		}
-		states, doneAt, valence = nextStates, nextDoneAt, nextValence
+		states, doneAt, valence, stab = nextStates, nextDoneAt, nextValence, nextStab
 	}
 	return &Space{
 		Adversary:   s.Adversary,
@@ -451,6 +495,8 @@ func (s *Space) AncestorAt(t int) (*Space, error) {
 		maxRuns:     s.maxRuns,
 		parallelism: s.parallelism,
 		pager:       s.pager,
+		sym:         s.sym,
+		stab:        stab,
 	}, nil
 }
 
@@ -469,6 +515,9 @@ type DecompSnapshot struct {
 	Horizon int            `json:"horizon"`
 	CompOf  []int          `json:"compOf"`
 	Comps   []CompSnapshot `json:"comps"`
+	// Mult is the pseudo-item multiplier of a quotiented decomposition
+	// (components.go); 0 or 1 for a plain one.
+	Mult int `json:"mult,omitempty"`
 }
 
 // SnapshotDecomposition captures a decomposition for a checkpoint.
@@ -477,6 +526,7 @@ func SnapshotDecomposition(d *Decomposition) *DecompSnapshot {
 		Horizon: d.Space.Horizon,
 		CompOf:  append([]int(nil), d.CompOf...),
 		Comps:   make([]CompSnapshot, len(d.Comps)),
+		Mult:    d.Mult,
 	}
 	for ci := range d.Comps {
 		c := &d.Comps[ci]
@@ -497,13 +547,22 @@ func RestoreDecomposition(s *Space, snap *DecompSnapshot) (*Decomposition, error
 	if snap.Horizon != s.Horizon {
 		return nil, fmt.Errorf("topo: RestoreDecomposition: snapshot at horizon %d, space at %d", snap.Horizon, s.Horizon)
 	}
-	if len(snap.CompOf) != s.Len() {
-		return nil, fmt.Errorf("topo: RestoreDecomposition: %d labels for %d items", len(snap.CompOf), s.Len())
+	m := s.SymOrder()
+	snapMult := snap.Mult
+	if snapMult <= 1 {
+		snapMult = 1
+	}
+	if snapMult != m {
+		return nil, fmt.Errorf("topo: RestoreDecomposition: snapshot multiplier %d, space symmetry order %d", snapMult, m)
+	}
+	if len(snap.CompOf) != s.Len()*m {
+		return nil, fmt.Errorf("topo: RestoreDecomposition: %d labels for %d items", len(snap.CompOf), s.Len()*m)
 	}
 	d := &Decomposition{
 		Space:  s,
 		CompOf: append([]int(nil), snap.CompOf...),
 		Comps:  make([]Component, len(snap.Comps)),
+		Mult:   m,
 	}
 	sizes := make([]int, len(snap.Comps))
 	nextNew := 0
@@ -522,7 +581,7 @@ func RestoreDecomposition(s *Space, snap *DecompSnapshot) (*Decomposition, error
 	if nextNew != len(snap.Comps) {
 		return nil, fmt.Errorf("topo: RestoreDecomposition: %d of %d components have no members", len(snap.Comps)-nextNew, len(snap.Comps))
 	}
-	arena := make([]int, s.Len())
+	arena := make([]int, len(d.CompOf))
 	for ci := range d.Comps {
 		d.Comps[ci] = Component{
 			Members:       arena[:0:sizes[ci]],

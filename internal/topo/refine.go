@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"topocon/internal/graph"
+	"topocon/internal/ptg"
 	"topocon/internal/uf"
 )
 
@@ -99,20 +100,31 @@ func (d *Decomposition) Refine(ctx context.Context, child *Space) (*Decompositio
 		child.Horizon != parent.Horizon+1 ||
 		len(child.parentOffsets) != parent.Len()+1 ||
 		child.parentOffsets[parent.Len()] != child.Len() ||
-		child.Interner != parent.Interner {
+		child.Interner != parent.Interner ||
+		child.sym != parent.sym ||
+		d.mult() != parent.SymOrder() {
 		return nil, fmt.Errorf("topo: Refine: child is not a one-round extension of the decomposed horizon-%d space", parent.Horizon)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// Under a symmetry quotient the refinement runs over pseudo-items
+	// (components.go): the pseudo parent of child pseudo-item (c,k) is
+	// (parentOf(c), k) with the same group element, and the relabel memo —
+	// which covers every round of the chain — turns rep rows into pseudo
+	// rows on the fly. With m = 1 every pseudo index collapses to the item
+	// index and the memo lookups vanish.
+	m := child.SymOrder()
 	nItems := child.Len()
-	u := uf.New(nItems)
+	nPseudo := child.pseudoLen()
+	u := uf.New(nPseudo)
 	n := child.N()
 	child.fr.fault()
 	ids := child.fr.ids
 	offsets := child.parentOffsets
-	// All child views were interned during the extension, so their IDs are
-	// below the interner size read here.
+	// All child views were interned during the extension (the round relabel
+	// pass interns every pseudo twin too), so their IDs are below the
+	// interner size read here.
 	tableSize := child.Interner.Size()
 	if child.parallelism <= 1 {
 		sc := refineScratchPool.Get().(*refineScratch)
@@ -122,19 +134,28 @@ func (d *Decomposition) Refine(ctx context.Context, child *Space) (*Decompositio
 		for ci := range d.Comps {
 			sc.epoch++
 			epoch := sc.epoch
-			for _, pi := range d.Comps[ci].Members {
+			for _, ppi := range d.Comps[ci].Members {
 				if scanned%cancelCheckInterval == 0 && ctx.Err() != nil {
 					refineScratchPool.Put(sc)
 					return nil, ctx.Err()
 				}
-				for i := offsets[pi]; i < offsets[pi+1]; i++ {
+				pp, k := ppi/m, ppi%m
+				var memo []ptg.ViewID
+				if k != 0 {
+					memo = child.sym.memo[k]
+				}
+				for i := offsets[pp]; i < offsets[pp+1]; i++ {
 					scanned++
+					pci := i*m + k
 					for _, id := range ids[i*n : (i+1)*n] {
+						if memo != nil {
+							id = memo[id]
+						}
 						if stamp[id] == epoch {
-							u.Union(int(firstOf[id]), i)
+							u.Union(int(firstOf[id]), pci)
 						} else {
 							stamp[id] = epoch
-							firstOf[id] = int32(i)
+							firstOf[id] = int32(pci)
 						}
 					}
 				}
@@ -162,16 +183,25 @@ func (d *Decomposition) Refine(ctx context.Context, child *Space) (*Decompositio
 				}
 				sc.epoch++
 				epoch := sc.epoch
-				for _, pi := range d.Comps[ci].Members {
-					for i := offsets[pi]; i < offsets[pi+1]; i++ {
+				for _, ppi := range d.Comps[ci].Members {
+					pp, k := ppi/m, ppi%m
+					var memo []ptg.ViewID
+					if k != 0 {
+						memo = child.sym.memo[k]
+					}
+					for i := offsets[pp]; i < offsets[pp+1]; i++ {
+						pci := i*m + k
 						for _, id := range ids[i*n : (i+1)*n] {
+							if memo != nil {
+								id = memo[id]
+							}
 							if stamp[id] == epoch {
-								if int(firstOf[id]) != i {
-									edges = append(edges, [2]int{int(firstOf[id]), i})
+								if int(firstOf[id]) != pci {
+									edges = append(edges, [2]int{int(firstOf[id]), pci})
 								}
 							} else {
 								stamp[id] = epoch
-								firstOf[id] = int32(i)
+								firstOf[id] = int32(pci)
 							}
 						}
 					}
@@ -200,36 +230,41 @@ func (d *Decomposition) Refine(ctx context.Context, child *Space) (*Decompositio
 	// a second sweep fills the members into one arena.
 	res := &Decomposition{
 		Space:  child,
-		CompOf: make([]int, nItems),
+		CompOf: make([]int, nPseudo),
+		Mult:   m,
 	}
-	rootGroup := make([]int32, nItems) // group id + 1 of each set root
+	rootGroup := make([]int32, nPseudo) // group id + 1 of each set root
 	sizes := make([]int32, 0, len(d.Comps)*2)
 	groupParent := make([]int32, 0, len(d.Comps)*2)
 	splits := make([]int32, len(d.Comps))
-	pi := 0
+	pp := 0
+	pci := 0
 	for i := 0; i < nItems; i++ {
-		for i >= offsets[pi+1] {
-			pi++
+		for i >= offsets[pp+1] {
+			pp++
 		}
-		r := u.Find(i)
-		g := rootGroup[r]
-		if g == 0 {
-			g = int32(len(sizes) + 1)
-			rootGroup[r] = g
-			pc := d.CompOf[pi]
-			sizes = append(sizes, 0)
-			groupParent = append(groupParent, int32(pc))
-			splits[pc]++
+		for k := 0; k < m; k++ {
+			r := u.Find(pci)
+			g := rootGroup[r]
+			if g == 0 {
+				g = int32(len(sizes) + 1)
+				rootGroup[r] = g
+				pc := d.CompOf[pp*m+k]
+				sizes = append(sizes, 0)
+				groupParent = append(groupParent, int32(pc))
+				splits[pc]++
+			}
+			sizes[g-1]++
+			res.CompOf[pci] = int(g - 1)
+			pci++
 		}
-		sizes[g-1]++
-		res.CompOf[i] = int(g - 1)
 	}
 	res.Comps = make([]Component, len(sizes))
-	arena := make([]int, nItems)
+	arena := make([]int, nPseudo)
 	for gi, size := range sizes {
 		res.Comps[gi].Members, arena = arena[:0:size], arena[size:]
 	}
-	for i := 0; i < nItems; i++ {
+	for i := 0; i < nPseudo; i++ {
 		gi := res.CompOf[i]
 		res.Comps[gi].Members = append(res.Comps[gi].Members, i)
 	}
@@ -258,20 +293,46 @@ func (d *Decomposition) Refine(ctx context.Context, child *Space) (*Decompositio
 			var vmask uint64
 			bcCand := full &^ pc.Broadcasters
 			uiCand := full &^ pc.UniformInputs
-			first := child.Inputs(members[0])
-			for _, i := range members {
-				if v := child.Valence(i); v >= 0 {
-					vmask |= 1 << uint(v)
+			if m == 1 {
+				first := child.Inputs(members[0])
+				for _, i := range members {
+					if v := child.Valence(i); v >= 0 {
+						vmask |= 1 << uint(v)
+					}
+					if bcCand != 0 {
+						bcCand &= child.HeardByAll(i)
+					}
+					if uiCand != 0 {
+						in := child.Inputs(i)
+						for mm := uiCand; mm != 0; mm &= mm - 1 {
+							p := bits.TrailingZeros64(mm)
+							if in[p] != first[p] {
+								uiCand &^= 1 << uint(p)
+							}
+						}
+					}
 				}
-				if bcCand != 0 {
-					bcCand &= child.HeardByAll(i)
-				}
-				if uiCand != 0 {
-					in := child.Inputs(i)
-					for m := uiCand; m != 0; m &= m - 1 {
-						p := bits.TrailingZeros64(m)
-						if in[p] != first[p] {
-							uiCand &^= 1 << uint(p)
+			} else {
+				// Pseudo members: valence is relabel-invariant, heard masks
+				// and input positions permute (components.go, summarizePseudo).
+				grp := child.sym.group
+				f0, fk := members[0]/m, members[0]%m
+				firstIn, firstInv := child.Inputs(f0), grp.Inv(fk)
+				for _, pmi := range members {
+					i, k := pmi/m, pmi%m
+					if v := child.Valence(i); v >= 0 {
+						vmask |= 1 << uint(v)
+					}
+					if bcCand != 0 {
+						bcCand &= child.pseudoHeardByAll(i, k)
+					}
+					if uiCand != 0 {
+						in, inv := child.Inputs(i), grp.Inv(k)
+						for mm := uiCand; mm != 0; mm &= mm - 1 {
+							p := bits.TrailingZeros64(mm)
+							if in[inv[p]] != firstIn[firstInv[p]] {
+								uiCand &^= 1 << uint(p)
+							}
 						}
 					}
 				}
@@ -299,12 +360,17 @@ func refreshSummary(s *Space, parent *Component, members []int) Component {
 		Valences:      append([]int(nil), parent.Valences...),
 		UniformInputs: parent.UniformInputs,
 	}
+	m := s.SymOrder()
 	candidates := graph.AllNodes(s.N()) &^ parent.Broadcasters
 	for _, i := range members {
 		if candidates == 0 {
 			break
 		}
-		candidates &= s.HeardByAll(i)
+		if m == 1 {
+			candidates &= s.HeardByAll(i)
+		} else {
+			candidates &= s.pseudoHeardByAll(i/m, i%m)
+		}
 	}
 	c.Broadcasters = parent.Broadcasters | candidates
 	return c

@@ -133,6 +133,13 @@ type Space struct {
 	// pager, when non-nil, spills rounds that stop being the head to disk
 	// and bounds the resident set; see paging.go.
 	pager *pager.Pager
+
+	// sym, when non-nil, marks the chain as quotiented by the adversary's
+	// automorphism group: items are orbit representatives, stab[i] is the
+	// bitmask of group elements fixing item i, and the chain-level relabel
+	// memo backs pseudo-item decomposition. See symmetry.go / DESIGN.md §13.
+	sym  *symState
+	stab []uint64
 }
 
 // DefaultMaxRuns bounds the size of constructed spaces; Build returns an
@@ -156,6 +163,13 @@ type Config struct {
 	// budget; chain-walking accessors fault pages back in transparently.
 	// Required for SnapshotChain / checkpointing.
 	Pager *pager.Pager
+	// Symmetry, when non-nil and nontrivial, quotients the chain by the
+	// given automorphism group of the adversary's graph language (from
+	// ma.Automorphisms): only one representative run per orbit is interned,
+	// with orbit sizes tracked so FullLen and the verdict accounting still
+	// report full-space numbers. Passing a group that is NOT a subgroup of
+	// the adversary's true automorphism group is unsound.
+	Symmetry *ma.Group
 }
 
 // Build enumerates the horizon-t prefix space of the adversary with the
@@ -213,7 +227,7 @@ func BuildCtx(ctx context.Context, adv ma.Adversary, inputDomain, horizon int, c
 	if interner == nil {
 		interner = ptg.NewInterner()
 	}
-	s := buildBase(adv, inputDomain, interner, maxRuns, cfg.Parallelism)
+	s := buildBaseSym(adv, inputDomain, interner, maxRuns, cfg.Parallelism, cfg.Symmetry)
 	s.pager = cfg.Pager
 	for s.Horizon < horizon {
 		next, err := s.extendOne(ctx)
@@ -222,9 +236,11 @@ func BuildCtx(ctx context.Context, adv ma.Adversary, inputDomain, horizon int, c
 		}
 		s = next
 	}
-	if s.Len() != total {
+	// The automaton's independent CountPrefixes counts the full space, so
+	// quotiented builds cross-check their orbit accounting too.
+	if s.FullLen() != total {
 		return nil, fmt.Errorf("topo: built %d runs at horizon %d, automaton counts %d",
-			s.Len(), horizon, total)
+			s.FullLen(), horizon, total)
 	}
 	// From-scratch builds expose no parent linkage: Refine requires a space
 	// produced by a one-round Extend of the decomposed space.
@@ -235,9 +251,29 @@ func BuildCtx(ctx context.Context, adv ma.Adversary, inputDomain, horizon int, c
 // buildBase constructs the horizon-0 space: one item per input vector, leaf
 // views, the adversary's start state.
 func buildBase(adv ma.Adversary, inputDomain int, interner *ptg.Interner, maxRuns, parallelism int) *Space {
+	return buildBaseSym(adv, inputDomain, interner, maxRuns, parallelism, nil)
+}
+
+// buildBaseSym is buildBase with an optional symmetry quotient: with a
+// nontrivial group, only the numerically smallest input vector of each
+// G-orbit becomes an item, stabilizer masks are recorded, and the leaf
+// relabel memo is seeded.
+func buildBaseSym(adv ma.Adversary, inputDomain int, interner *ptg.Interner, maxRuns, parallelism int, group *ma.Group) *Space {
 	n := adv.N()
+	var sym *symState
+	if group != nil && !group.Trivial() {
+		sym = newSymState(group)
+	}
 	var inputs [][]int
+	var stab []uint64
 	combi.Words(inputDomain, n, func(w []int) bool {
+		if sym != nil {
+			st, keep := inputOrbitRep(w, group)
+			if !keep {
+				return true
+			}
+			stab = append(stab, st)
+		}
 		inputs = append(inputs, append([]int(nil), w...))
 		return true
 	})
@@ -263,6 +299,8 @@ func buildBase(adv ma.Adversary, inputDomain int, interner *ptg.Interner, maxRun
 		valence:     make([]int32, count),
 		maxRuns:     maxRuns,
 		parallelism: parallelism,
+		sym:         sym,
+		stab:        stab,
 	}
 	start := adv.Start()
 	doneAt := int32(-1)
@@ -278,6 +316,9 @@ func buildBase(adv ma.Adversary, inputDomain int, interner *ptg.Interner, maxRun
 		s.states[i] = start
 		s.doneAt[i] = doneAt
 		s.valence[i] = valenceOf(w)
+	}
+	if sym != nil {
+		s.relabelBase()
 	}
 	return s
 }

@@ -180,7 +180,22 @@ var (
 	// reachable automaton: the identity under which sessions and caching
 	// layers key analysis results.
 	Fingerprint = ma.Fingerprint
+	// Normalize rewrites an adversary expression into the canonical form
+	// Fingerprint hashes and the checker routes on (combinator identities
+	// such as a ∩ unrestricted → a, concat(a, 0, b) → b).
+	Normalize = ma.Normalize
+	// Automorphisms computes the process-relabeling symmetry group of an
+	// adversary — the group the checker quotients prefix spaces by
+	// (DESIGN.md §13). Falls back to the trivial group when detection is
+	// out of budget.
+	Automorphisms = ma.Automorphisms
+	// TrivialGroup is the identity-only symmetry group on n processes.
+	TrivialGroup = ma.TrivialGroup
 )
+
+// Group is a process-permutation group under which an adversary is
+// invariant; the symmetry quotient's algebraic core.
+type Group = ma.Group
 
 // Scenario is a parsed declarative scenario: a named adversary expression
 // plus checker options; see internal/scenario for the JSON format.
@@ -458,6 +473,11 @@ var (
 	WithCertChainLen = check.WithCertChainLen
 	// WithLatencySlack sets the non-compact decision-latency budget.
 	WithLatencySlack = check.WithLatencySlack
+	// WithNoSymmetry disables the automorphism quotient (DESIGN.md §13):
+	// the session interns the full prefix space instead of one
+	// representative per orbit. Verdicts and reports are identical either
+	// way; use it for differential testing and symmetry-bug triage.
+	WithNoSymmetry = check.WithNoSymmetry
 	// WithParallelism spreads frontier expansion and decomposition over a
 	// worker pool.
 	WithParallelism = check.WithParallelism
